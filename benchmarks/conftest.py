@@ -1,0 +1,15 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper artifact (table or figure): it runs
+the experiment through :mod:`repro.bench.harness` inside pytest-benchmark
+(so wall-clock cost is tracked), prints the regenerated rows/series, and
+asserts the paper's qualitative shape.  Simulated-time metrics are attached
+to ``benchmark.extra_info`` for machine consumption.
+"""
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print a regenerated artifact so it lands in the benchmark log."""
+    sys.stdout.write("\n" + text + "\n")

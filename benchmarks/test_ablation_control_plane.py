@@ -1,0 +1,47 @@
+"""Ablation: decoupled control/data plane (the ACCL -> ACCL+ redesign).
+
+The paper attributes Figure 13's ACCL+ > ACCL gap to "offloading more tasks
+to the hardware data plane, such as utilizing the Rx Buffer Manager for
+packet assembling".  This ablation sweeps the amount of per-payload work
+left on the micro-controller (``uc_rx_instr_per_kib``): 0 is the ACCL+
+design, higher values re-centralize receive processing on the uC.
+"""
+
+from repro import units
+from repro.bench.harness import accl_collective_time
+from repro.bench.formats import format_rows
+from repro.cclo.config_mem import CcloConfig
+from repro.platform.base import BufferLocation
+from conftest import emit
+
+SIZE = 512 * units.KIB
+
+
+def sweep():
+    rows = []
+    for instr_per_kib in (0, 1, 2, 4):
+        config = CcloConfig(uc_rx_instr_per_kib=instr_per_kib)
+        elapsed = accl_collective_time(
+            "reduce", SIZE, n_nodes=4, protocol="tcp", platform="vitis",
+            location=BufferLocation.DEVICE, cclo_config=config,
+        )
+        rows.append({
+            "uc_instr_per_kib": instr_per_kib,
+            "reduce_512k_us": units.to_us(elapsed),
+        })
+    return rows
+
+
+def test_ablation_control_plane(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_rows(
+        rows, ["uc_instr_per_kib", "reduce_512k_us"],
+        title="Ablation — uC-centric receive processing "
+              "(0 = ACCL+ RBM offload)",
+    ))
+    times = [r["reduce_512k_us"] for r in rows]
+    # Latency grows monotonically as work returns to the sequential uC.
+    assert times == sorted(times)
+    # Full offload is substantially faster than even light uC involvement.
+    assert times[-1] > 2 * times[0]
+    benchmark.extra_info["offload_speedup"] = times[-1] / times[0]

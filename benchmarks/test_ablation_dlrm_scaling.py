@@ -1,0 +1,51 @@
+"""Ablation: DLRM resource scaling (§6.1).
+
+"Scaling resources according to the computation distribution requirements
+of each layer could lead to improved performance.  For example, increasing
+the allocation of FPGAs for different layers based on their computational
+load."  This ablation widens the FC1 checkerboard from 2 to 4 columns
+(6 -> 10 FPGAs) and measures latency and throughput; outputs stay verified
+against the reference model at every width.
+"""
+
+import numpy as np
+
+from repro import units
+from repro.apps.dlrm import DistributedDlrm, DlrmModel, DlrmPlan
+from repro.bench.formats import format_rows
+from conftest import emit
+
+
+def sweep(n_inferences=32):
+    model = DlrmModel()
+    queries = model.make_queries(n_inferences)
+    reference = model.forward_batch(queries)
+    rows = []
+    for cols in (2, 4):
+        plan = DlrmPlan(col_parts=cols)
+        dlrm = DistributedDlrm(model, plan=plan)
+        stats = dlrm.run(queries)
+        rows.append({
+            "fc1_columns": cols,
+            "fpgas": plan.n_nodes,
+            "latency_us": units.to_us(stats.mean_latency),
+            "throughput": round(stats.throughput),
+            "correct": bool(np.allclose(stats.outputs, reference,
+                                        rtol=1e-3, atol=1e-4)),
+        })
+    return rows
+
+
+def test_ablation_dlrm_scaling(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_rows(
+        rows, ["fc1_columns", "fpgas", "latency_us", "throughput", "correct"],
+        title="Ablation — DLRM FC1 resource scaling",
+    ))
+    assert all(r["correct"] for r in rows)
+    narrow, wide = rows
+    # More FPGAs on the heavy layer: higher throughput and lower latency.
+    assert wide["throughput"] > narrow["throughput"]
+    assert wide["latency_us"] < narrow["latency_us"]
+    benchmark.extra_info["scaling_gain"] = (
+        wide["throughput"] / narrow["throughput"])

@@ -1,0 +1,52 @@
+"""Ablation: eager vs rendezvous synchronization (§4.4.3, §5).
+
+Paper: "eager collectives can sometimes outperform rendezvous collectives
+with small message sizes, as seen in broadcast.  This is because eager
+collectives do not require a handshake to resolve addresses."  At large
+sizes the rendezvous zero-copy path wins (no Rx-buffer copy).
+"""
+
+from repro import units
+from repro.bench.harness import accl_collective_time
+from repro.bench.formats import format_rows
+from repro.platform.base import BufferLocation
+from conftest import emit
+
+SIZES = [KIB := units.KIB, 4 * units.KIB, 64 * units.KIB,
+         units.MIB, 4 * units.MIB]
+
+
+def sweep():
+    rows = []
+    for size in SIZES:
+        eager = accl_collective_time(
+            "bcast", size, n_nodes=8, sync_protocol="eager",
+            location=BufferLocation.DEVICE, algorithm="one_to_all",
+        )
+        rndz = accl_collective_time(
+            "bcast", size, n_nodes=8, sync_protocol="rndz",
+            location=BufferLocation.DEVICE, algorithm="one_to_all",
+        )
+        rows.append({
+            "size": units.pretty_size(size),
+            "eager_us": units.to_us(eager),
+            "rndz_us": units.to_us(rndz),
+        })
+    return rows
+
+
+def test_ablation_sync_protocol(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_rows(
+        rows, ["size", "eager_us", "rndz_us"],
+        title="Ablation — eager vs rendezvous (bcast one-to-all, 8 ranks)",
+    ))
+    # Small messages: no handshake -> eager wins.
+    assert rows[0]["eager_us"] < rows[0]["rndz_us"]
+    # Large messages: zero-copy WRITE -> rendezvous wins.
+    assert rows[-1]["rndz_us"] < rows[-1]["eager_us"]
+    # There is a crossover in between.
+    crossover = next(
+        (r["size"] for r in rows if r["rndz_us"] <= r["eager_us"]), None)
+    assert crossover is not None
+    benchmark.extra_info["crossover"] = crossover

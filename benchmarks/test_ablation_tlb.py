@@ -1,0 +1,69 @@
+"""Ablation: eager TLB mapping (§4.2 "Integration with Coyote").
+
+"If a memory page is not registered during TLB lookup, it triggers an
+interruption to the CPU, resulting in a page fault and introducing a
+performance penalty.  Therefore, the CCL driver, specifically the
+CoyoteBuffer class, eagerly maps pages to the Coyote TLBs when
+instantiating buffers."
+
+This ablation measures a cold first-touch transfer into lazily- vs
+eagerly-mapped host buffers.
+"""
+
+from repro import units
+from repro.cclo.microcontroller import CollectiveArgs
+from repro.cluster import build_fpga_cluster
+from repro.platform.base import BufferLocation
+from repro.sim import all_of
+from repro.bench.formats import format_rows
+from conftest import emit
+
+SIZES = [2 * units.MIB, 8 * units.MIB, 32 * units.MIB]
+
+
+def _first_touch_transfer(size, eager_map):
+    cluster = build_fpga_cluster(2, protocol="rdma", platform="coyote")
+    sview = cluster.nodes[0].platform.allocate(
+        size, BufferLocation.HOST, eager_map=eager_map).view()
+    rview = cluster.nodes[1].platform.allocate(
+        size, BufferLocation.HOST, eager_map=eager_map).view()
+    events = [
+        cluster.engine(1).call(CollectiveArgs(
+            opcode="recv", peer=0, nbytes=size, tag=0, rbuf=rview)),
+        cluster.engine(0).call(CollectiveArgs(
+            opcode="send", peer=1, nbytes=size, tag=0, sbuf=sview)),
+    ]
+    cluster.env.run(until=all_of(cluster.env, events))
+    faults = (cluster.nodes[0].platform.tlb.faults
+              + cluster.nodes[1].platform.tlb.faults)
+    return cluster.env.now, faults
+
+
+def sweep():
+    rows = []
+    for size in SIZES:
+        eager_t, eager_faults = _first_touch_transfer(size, eager_map=True)
+        lazy_t, lazy_faults = _first_touch_transfer(size, eager_map=False)
+        rows.append({
+            "size": units.pretty_size(size),
+            "eager_us": units.to_us(eager_t),
+            "lazy_us": units.to_us(lazy_t),
+            "eager_faults": eager_faults,
+            "lazy_faults": lazy_faults,
+        })
+    return rows
+
+
+def test_ablation_tlb(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_rows(
+        rows, ["size", "eager_us", "lazy_us", "eager_faults", "lazy_faults"],
+        title="Ablation — eager vs lazy TLB mapping "
+              "(cold H2H transfer, Coyote)",
+    ))
+    for row in rows:
+        assert row["eager_faults"] == 0
+        assert row["lazy_faults"] > 0
+        assert row["lazy_us"] > row["eager_us"], row
+    benchmark.extra_info["penalty_32m_pct"] = 100 * (
+        rows[-1]["lazy_us"] / rows[-1]["eager_us"] - 1)

@@ -1,0 +1,51 @@
+"""Figure 16: speedup and latency breakdown of distributed vector-matrix
+multiplication (CPU compute + ACCL+/MPI reduce).
+
+Paper shape: ACCL+ generally yields lower matrix-vector *computation* time
+(reduced CPU-cache pressure) while its *reduction* time is mostly higher
+(an extra staging copy); two configurations show super-linear speedup
+(partitions dropping into L2/L3); overall ACCL+ achieves lower latency for
+specific (size, ranks) configurations.
+"""
+
+from repro.bench import format_rows, run_fig16_vecmat
+from conftest import emit
+
+
+def test_fig16_vecmat(benchmark):
+    rows = benchmark.pedantic(run_fig16_vecmat, rounds=1, iterations=1)
+    emit(format_rows(
+        rows,
+        ["fc_size", "ranks", "backend", "compute_us", "reduce_us",
+         "speedup", "correct"],
+        title="Figure 16 — distributed vector-matrix multiplication",
+    ))
+    assert all(r["correct"] for r in rows)
+
+    def cell(size, ranks, backend):
+        return next(r for r in rows if r["fc_size"] == size
+                    and r["ranks"] == ranks and r["backend"] == backend)
+
+    # Super-linear instances (partitions fit caches after splitting).
+    superlinear = [r for r in rows if r["speedup"] > r["ranks"]]
+    benchmark.extra_info["superlinear_points"] = len(superlinear)
+    assert len(superlinear) >= 2
+
+    # ACCL+ compute < MPI compute at matched configurations (cache relief).
+    compute_wins = sum(
+        cell(s, n, "accl")["compute_us"] < cell(s, n, "mpi")["compute_us"]
+        for s in (2048, 4096, 8192) for n in (4, 8)
+    )
+    assert compute_wins >= 5
+
+    # ...while the ACCL+ reduction usually costs more (extra copy).
+    reduce_higher = sum(
+        cell(s, n, "accl")["reduce_us"] > cell(s, n, "mpi")["reduce_us"]
+        for s in (2048, 4096, 8192) for n in (2, 4, 8)
+    )
+    assert reduce_higher >= 5
+
+    # Overall: ACCL+ achieves the better total for mid-size configurations.
+    accl = cell(4096, 4, "accl")
+    mpi = cell(4096, 4, "mpi")
+    assert accl["speedup"] > mpi["speedup"]

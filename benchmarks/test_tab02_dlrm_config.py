@@ -1,0 +1,38 @@
+"""Table 2: parameters of the target recommendation model.
+
+| Tables | Concat Vec Len | FC Layers        | Embed Size |
+|--------|----------------|------------------|------------|
+| 100    | 3200           | (2048, 512, 256) | 50GB       |
+"""
+
+from repro.apps.dlrm import DlrmConfig, DlrmModel
+from repro.bench.formats import format_rows
+from conftest import emit
+
+
+def build_and_describe():
+    config = DlrmConfig()
+    model = DlrmModel(config)
+    return config, model
+
+
+def test_tab02_dlrm_config(benchmark):
+    config, model = benchmark.pedantic(build_and_describe,
+                                       rounds=1, iterations=1)
+    emit(format_rows(
+        [{
+            "Tables": config.num_tables,
+            "Concat Vec Len": config.concat_len,
+            "FC Layers": str(config.fc_dims),
+            "Embed Size": f"{config.embed_bytes / 1e9:.0f}GB",
+        }],
+        ["Tables", "Concat Vec Len", "FC Layers", "Embed Size"],
+        title="Table 2 — target recommendation model",
+    ))
+    assert config.num_tables == 100
+    assert config.concat_len == 3200
+    assert config.fc_dims == (2048, 512, 256)
+    assert 50e9 <= config.embed_bytes < 60e9
+    # The model's weight stack matches the FC dims.
+    assert [w.shape for w in model.weights] == [
+        (2048, 3200), (512, 2048), (256, 512)]

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Use case 1 (§6.2): distributing an FC layer across CPUs with ACCL+ as a
+collective offload engine.
+
+The weight matrix is partitioned column-wise over R CPU ranks; each rank
+computes a partial product; partials are reduced with ACCL+ (FPGA-side
+reduction over Coyote RDMA) or software MPI.  Prints the Figure 16 grid:
+speedup over single-node execution plus the compute/reduction breakdown.
+
+Run:  python examples/collective_offload_vecmat.py
+"""
+
+from repro import units
+from repro.apps.vecmat import run_distributed_vecmat, run_single_node
+
+
+def main():
+    print("distributed vector-matrix multiplication "
+          "(CPU GEMV + offloaded reduce)\n")
+    header = (f"{'FC size':>10} {'ranks':>5} {'backend':>7} "
+              f"{'compute':>10} {'reduce':>9} {'speedup':>8}")
+    print(header)
+    print("-" * len(header))
+    for size in (2048, 4096, 8192):
+        single = run_single_node(size, size)
+        for ranks in (2, 4, 8):
+            for backend in ("accl", "mpi"):
+                r = run_distributed_vecmat(size, size, ranks, backend)
+                assert r.result_ok, "distributed result diverged from W @ x"
+                marker = " <-- super-linear" if r.speedup > ranks else ""
+                print(f"{size:>6}x{size:<4}{ranks:>4} {backend:>8} "
+                      f"{units.to_us(r.compute_time):>9.1f}u "
+                      f"{units.to_us(r.reduction_time):>8.1f}u "
+                      f"{r.speedup:>7.2f}x{marker}")
+        print(f"{'':>10} single-node: {units.to_ms(single):.3f} ms\n")
+
+    print("note the two paper findings: ACCL+ lowers *compute* time (its\n"
+          "reduction state lives in FPGA memory, easing CPU-cache pressure)\n"
+          "while its *reduction* time carries an extra staging copy.")
+
+
+if __name__ == "__main__":
+    main()

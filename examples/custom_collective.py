@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Deploying a user-defined collective at runtime — no re-synthesis.
+
+ACCL+'s headline flexibility claim: "It is user-extensible, allowing new
+collectives to be implemented and deployed without having to re-synthesize
+the FPGA circuit."  Collectives are uC firmware; this example writes a new
+one — *reduce_scatter* (each rank ends up with one fully-reduced block) —
+registers it on already-built engines, and runs it.
+
+Run:  python examples/custom_collective.py
+"""
+
+import numpy as np
+
+from repro import units
+from repro.cclo.microcontroller import CollectiveArgs
+from repro.cluster import build_fpga_cluster
+from repro.collectives.util import block_ranges
+from repro.platform.base import BufferLocation
+from repro.sim import all_of
+
+
+def fw_reduce_scatter_ring(ctx, args):
+    """Ring reduce-scatter: after size-1 steps, rank r owns the reduced
+    block (r + 1) % size in its rbuf.  ``nbytes`` is the full vector size.
+
+    This is new firmware written *after* the engines were built — the
+    software analogue of a firmware update on deployed hardware.
+    """
+    yield ctx.cost()
+    size = ctx.size
+    rank = ctx.rank
+    blocks = block_ranges(args.nbytes, size)
+    next_rank = (rank + 1) % size
+    prev_rank = (rank - 1) % size
+
+    acc = ctx.engine.scratch_alloc(args.nbytes)
+    try:
+        yield ctx.copy(args.sbuf, acc.view(), args.nbytes)
+        for step in range(size - 1):
+            s_off, s_len = blocks[(rank - step) % size]
+            r_off, r_len = blocks[(rank - step - 1) % size]
+            pending = []
+            if s_len:
+                pending.append(ctx.send(
+                    next_rank, acc.view(s_off, s_len), s_len, ctx.tag(step)))
+            if r_len:
+                pending.append(ctx.recv_reduce(
+                    prev_rank, acc.view(r_off, r_len), r_len, ctx.tag(step),
+                    args.func))
+            if pending:
+                yield ctx.wait_all(pending)
+        own_off, own_len = blocks[(rank + 1) % size]
+        yield ctx.copy(acc.view(own_off, own_len), args.rbuf, own_len)
+    finally:
+        ctx.engine.scratch_free(acc)
+
+
+def main():
+    size = 4
+    n = 1024  # elements, divisible by size
+    cluster = build_fpga_cluster(size, protocol="rdma", platform="coyote")
+
+    # "Firmware update": register the new collective on the live engines.
+    for node in cluster.nodes:
+        node.engine.uc.registry.register(
+            "reduce_scatter", "ring", fw_reduce_scatter_ring)
+    print("registered opcode 'reduce_scatter' on", size, "running engines")
+
+    rng = np.random.default_rng(11)
+    contributions = [rng.standard_normal(n).astype(np.float32)
+                     for _ in range(size)]
+    block = n // size
+    sviews = [
+        cluster.nodes[r].platform.wrap(
+            contributions[r], BufferLocation.DEVICE).view()
+        for r in range(size)
+    ]
+    rviews = [
+        cluster.nodes[r].platform.wrap(
+            np.zeros(block, np.float32), BufferLocation.DEVICE).view()
+        for r in range(size)
+    ]
+
+    events = [
+        cluster.engine(r).call(CollectiveArgs(
+            opcode="reduce_scatter", nbytes=contributions[0].nbytes,
+            tag=1 << 20, func="sum", sbuf=sviews[r], rbuf=rviews[r],
+            algorithm="ring",
+        ))
+        for r in range(size)
+    ]
+    cluster.env.run(until=all_of(cluster.env, events))
+
+    total = np.sum(contributions, axis=0)
+    for r in range(size):
+        owned = (r + 1) % size
+        expected = total[owned * block:(owned + 1) * block]
+        assert np.allclose(rviews[r].array, expected, rtol=1e-4, atol=1e-5)
+    print(f"reduce_scatter over {size} ranks completed in "
+          f"{units.to_us(cluster.env.now):.1f} us; every rank's block "
+          "verified against numpy")
+
+
+if __name__ == "__main__":
+    main()

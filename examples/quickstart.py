@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: an 8-node ACCL+ cluster running MPI-like collectives.
+
+Builds the paper's main configuration — Alveo-class FPGAs with RDMA POEs on
+the Coyote platform, 100 Gb/s fabric — and runs broadcast, allreduce and a
+barrier through the host CCL driver, with real numpy payloads verified
+against local references.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import units
+from repro.cluster import build_fpga_cluster
+from repro.driver import attach_drivers
+from repro.sim import all_of
+
+
+def wait_all(cluster, requests):
+    cluster.env.run(until=all_of(cluster.env, [r.event for r in requests]))
+
+
+def main():
+    n_nodes = 8
+    cluster = build_fpga_cluster(n_nodes, protocol="rdma", platform="coyote")
+    drivers = attach_drivers(cluster)
+    print(f"cluster up: {n_nodes} FPGAs, RDMA POE, Coyote platform")
+
+    # --- broadcast -------------------------------------------------------
+    payload = np.arange(4096, dtype=np.float32)
+    bufs = [
+        drv.wrap(payload.copy() if drv.rank == 0 else np.zeros(4096,
+                                                               np.float32))
+        for drv in drivers
+    ]
+    start = cluster.env.now
+    wait_all(cluster, [
+        drv.bcast(bufs[i], payload.nbytes, root=0)
+        for i, drv in enumerate(drivers)
+    ])
+    elapsed = cluster.env.now - start
+    assert all(np.array_equal(bufs[i].array, payload) for i in range(n_nodes))
+    print(f"bcast   16 KiB to {n_nodes} ranks: {units.to_us(elapsed):8.1f} us")
+
+    # --- allreduce --------------------------------------------------------
+    contributions = [np.full(4096, float(i + 1), np.float32)
+                     for i in range(n_nodes)]
+    rbufs = [drv.wrap(np.zeros(4096, np.float32)) for drv in drivers]
+    start = cluster.env.now
+    wait_all(cluster, [
+        drv.allreduce(drv.wrap(contributions[i]), rbufs[i],
+                      contributions[i].nbytes)
+        for i, drv in enumerate(drivers)
+    ])
+    elapsed = cluster.env.now - start
+    expected = np.sum(contributions, axis=0)
+    assert all(np.allclose(rbufs[i].array, expected) for i in range(n_nodes))
+    print(f"allreduce 16 KiB over {n_nodes} ranks: {units.to_us(elapsed):6.1f} us")
+
+    # --- barrier ------------------------------------------------------------
+    start = cluster.env.now
+    wait_all(cluster, [drv.barrier(sync=False) for drv in drivers])
+    elapsed = cluster.env.now - start
+    print(f"barrier over {n_nodes} ranks: {units.to_us(elapsed):17.1f} us")
+
+    print("all results verified against numpy references")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy-path shim: metadata lives in pyproject.toml.
+
+Kept so ``pip install -e .`` works in offline environments whose setuptools
+lacks PEP 660 editable-wheel support (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

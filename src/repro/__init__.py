@@ -1,0 +1,27 @@
+"""ACCL+ reproduction: an FPGA-based collective engine, simulated in Python.
+
+This package reproduces *ACCL+: an FPGA-Based Collective Engine for
+Distributed Applications* (He et al., OSDI 2024).  The hardware artifact is
+substituted by a discrete-event simulation faithful to the paper's
+architecture; see ``DESIGN.md`` at the repository root for the full inventory
+and the per-experiment index.
+
+Layering (bottom to top):
+
+- :mod:`repro.sim` -- discrete-event kernel (from scratch, simpy-like).
+- :mod:`repro.network` -- 100 Gb/s links, switch, packet fabric.
+- :mod:`repro.memory` -- HBM/DDR/host memory and PCIe models.
+- :mod:`repro.protocols` -- UDP / TCP / RDMA protocol offload engines.
+- :mod:`repro.platform` -- Coyote, Vitis/XRT and simulation platforms.
+- :mod:`repro.cclo` -- the collective offload engine (uC, DMP, RBM, Tx/Rx).
+- :mod:`repro.collectives` -- collective firmware and algorithm selection.
+- :mod:`repro.driver` -- host CCL driver: MPI-like and streaming APIs.
+- :mod:`repro.cluster` -- cluster construction helpers.
+- :mod:`repro.baselines` -- software MPI and ACCL-v1 comparators.
+- :mod:`repro.apps` -- the paper's two use cases (GEMV, DLRM).
+- :mod:`repro.resources` -- FPGA resource-utilization model (Table 3).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,7 @@
+"""The paper's two use cases (§6).
+
+- :mod:`repro.apps.vecmat` -- distributed FC-layer execution on CPUs with
+  ACCL+ as collective offload engine (Figure 16).
+- :mod:`repro.apps.dlrm` -- fully FPGA-based distributed deep-learning
+  recommendation inference on 10 FPGAs (Figures 14-17, Table 2).
+"""

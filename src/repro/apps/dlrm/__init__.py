@@ -1,0 +1,24 @@
+"""Distributed DLRM inference on an FPGA cluster (§6, Figures 14-17).
+
+The industrial model of Table 2 (100 embedding tables, 50 GB, concat vector
+3200, FC stack 2048/512/256) does not fit one FPGA's HBM, so embedding
+lookup and FC1 are decomposed across nodes with checkerboard block
+decomposition (Figure 14), pipelined as in Figure 15, with every inter-node
+transfer running over ACCL+ streaming collectives.
+"""
+
+from repro.apps.dlrm.model import DlrmConfig, DlrmModel, embedding_vectors
+from repro.apps.dlrm.partition import DlrmPlan, PartitionedWeights
+from repro.apps.dlrm.pipeline import DistributedDlrm, DlrmRunStats
+from repro.apps.dlrm.cpu_baseline import CpuDlrmBaseline
+
+__all__ = [
+    "DlrmConfig",
+    "DlrmModel",
+    "embedding_vectors",
+    "DlrmPlan",
+    "PartitionedWeights",
+    "DistributedDlrm",
+    "DlrmRunStats",
+    "CpuDlrmBaseline",
+]

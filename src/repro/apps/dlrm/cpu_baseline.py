@@ -1,0 +1,67 @@
+"""CPU DLRM baseline: TensorFlow-Serving on a Xeon 8259CL (§6.2).
+
+An analytic cost model of the paper's CPU comparison point (Intel Xeon
+Platinum 8259CL @ 2.50 GHz, 32 vCPU, SIMD, 256 GB DRAM, TF-Serving):
+
+- a fixed serving overhead per request batch (RPC, graph dispatch);
+- embedding lookups are random DRAM accesses, bounded by the memory-level
+  parallelism the cores can sustain;
+- FC layers run as batched GEMM whose efficiency ramps with batch size
+  (small batches leave the SIMD units starved — the reason CPU serving
+  needs large batches, and large batches are what inflate latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.apps.dlrm.model import DlrmConfig
+from repro import units
+
+
+@dataclass(frozen=True)
+class CpuDlrmBaseline:
+    """Latency/throughput model for batched CPU inference."""
+
+    config: DlrmConfig = DlrmConfig()
+    serving_overhead: float = units.ms(2.0)   # TF-Serving request handling
+    dram_latency: float = units.ns(110)       # one random access
+    mlp_parallelism: int = 8                  # in-flight misses sustained
+    peak_flops: float = 150e9                 # effective TF GEMM throughput
+    gemm_ramp_batch: int = 32                 # batch at which GEMM is ~50%
+
+    def embedding_time(self, batch: int) -> float:
+        """Random-access phase: batch * num_tables dependent DRAM misses."""
+        lookups = batch * self.config.num_tables
+        return lookups * self.dram_latency / self.mlp_parallelism
+
+    def fc_time(self, batch: int) -> float:
+        dims = [self.config.concat_len, *self.config.fc_dims]
+        flops = batch * sum(2 * a * b for a, b in zip(dims, dims[1:]))
+        efficiency = batch / (batch + self.gemm_ramp_batch)
+        return flops / (self.peak_flops * efficiency)
+
+    def latency(self, batch: int) -> float:
+        """End-to-end latency of one batch."""
+        if batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        return (self.serving_overhead + self.embedding_time(batch)
+                + self.fc_time(batch))
+
+    def throughput(self, batch: int) -> float:
+        """Inferences/second at the given batch size."""
+        return batch / self.latency(batch)
+
+    def best_throughput(self, max_batch: int = 4096) -> float:
+        """Throughput at the best batch size up to *max_batch*."""
+        batch = 1
+        best = 0.0
+        while batch <= max_batch:
+            best = max(best, self.throughput(batch))
+            batch *= 2
+        return best
+
+    def sweep(self, batches=(1, 4, 16, 64, 256, 1024)) -> list:
+        """(batch, latency, throughput) rows for the Figure 17 curves."""
+        return [(b, self.latency(b), self.throughput(b)) for b in batches]

@@ -1,0 +1,116 @@
+"""Checkerboard decomposition and the 10-node placement plan (Figs 14-15).
+
+FC1 (3200 -> 2048) is cut into a 2 x 4 checkerboard: 4 column partitions
+(one per embedding node, matching its 800-element concat chunk) by 2 row
+partitions (output halves).  Nodes 0-3 hold the embeddings plus the row-0
+blocks; nodes 4-7 hold the row-1 blocks; node 8 runs FC2 after reducing the
+partial FC1 results; node 9 runs FC3 and the final processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.apps.dlrm.model import DlrmConfig, DlrmModel
+
+
+@dataclass(frozen=True)
+class DlrmPlan:
+    """Placement of the Figure 15 pipeline on a 10-node cluster."""
+
+    col_parts: int = 4
+    row_parts: int = 2
+
+    @property
+    def n_nodes(self) -> int:
+        return self.col_parts * self.row_parts + 2  # + FC2 node + FC3 node
+
+    @property
+    def embed_nodes(self) -> List[int]:
+        """Nodes holding embeddings and the row-0 FC1 blocks."""
+        return list(range(self.col_parts))
+
+    @property
+    def fc1_partner_nodes(self) -> List[int]:
+        """Nodes computing the remaining FC1 row blocks for each column."""
+        return list(range(self.col_parts, 2 * self.col_parts))
+
+    @property
+    def fc2_node(self) -> int:
+        return 2 * self.col_parts
+
+    @property
+    def fc3_node(self) -> int:
+        return 2 * self.col_parts + 1
+
+    @property
+    def reduce_group(self) -> List[int]:
+        """Nodes participating in the FC1 reduction (paper: nodes 5-9)."""
+        return [*self.fc1_partner_nodes, self.fc2_node]
+
+    def partner_of(self, embed_node: int) -> int:
+        return embed_node + self.col_parts
+
+    def tables_for(self, embed_node: int, config: DlrmConfig) -> range:
+        per_node, rem = divmod(config.num_tables, self.col_parts)
+        if rem:
+            raise ConfigurationError(
+                f"{config.num_tables} tables do not split evenly over "
+                f"{self.col_parts} embedding nodes"
+            )
+        return range(embed_node * per_node, (embed_node + 1) * per_node)
+
+    def chunk_len(self, config: DlrmConfig) -> int:
+        """Concat-vector elements produced per embedding node (800)."""
+        return config.concat_len // self.col_parts
+
+    def row_len(self, config: DlrmConfig) -> int:
+        """FC1 output elements per row partition (1024)."""
+        fc1_out = config.fc_dims[0]
+        if fc1_out % self.row_parts:
+            raise ConfigurationError(
+                f"FC1 output {fc1_out} does not split over "
+                f"{self.row_parts} row partitions"
+            )
+        return fc1_out // self.row_parts
+
+
+class PartitionedWeights:
+    """FC1 checkerboard blocks plus the FC2/FC3 weights, from one model."""
+
+    def __init__(self, model: DlrmModel, plan: DlrmPlan = DlrmPlan()):
+        self.model = model
+        self.plan = plan
+        config = model.config
+        w1 = model.weights[0]
+        rows = plan.row_len(config)
+        cols = plan.chunk_len(config)
+        #: blocks[row][col] = W1[row*rows:(row+1)*rows, col*cols:(col+1)*cols]
+        self.fc1_blocks: List[List[np.ndarray]] = [
+            [
+                np.ascontiguousarray(
+                    w1[r * rows:(r + 1) * rows, c * cols:(c + 1) * cols]
+                )
+                for c in range(plan.col_parts)
+            ]
+            for r in range(plan.row_parts)
+        ]
+        self.fc2 = model.weights[1]
+        self.fc3 = model.weights[2]
+
+    def check_decomposition(self, x: np.ndarray) -> np.ndarray:
+        """Verify Figure 14: summing block partials reproduces W1 @ x."""
+        plan, config = self.plan, self.model.config
+        cols = plan.chunk_len(config)
+        full = np.zeros(config.fc_dims[0], dtype=x.dtype)
+        for c in range(plan.col_parts):
+            chunk = x[c * cols:(c + 1) * cols]
+            partial = np.concatenate(
+                [self.fc1_blocks[r][c] @ chunk for r in range(plan.row_parts)]
+            )
+            full += partial
+        return full

@@ -1,0 +1,24 @@
+"""Distributed vector-matrix multiplication (§6.2, Figure 16).
+
+An FC-layer workload runs on CPU ranks (Eigen-style GEMV); the partial rank
+products are summed with a reduce collective — either offloaded to ACCL+
+(FPGA-side reduction, host data over Coyote) or executed by software MPI.
+"""
+
+from repro.apps.vecmat.cpu_model import CpuSpec, gemv_time
+from repro.apps.vecmat.compute import partial_gemv, partition_columns
+from repro.apps.vecmat.distributed import (
+    VecMatResult,
+    run_distributed_vecmat,
+    run_single_node,
+)
+
+__all__ = [
+    "CpuSpec",
+    "gemv_time",
+    "partition_columns",
+    "partial_gemv",
+    "VecMatResult",
+    "run_distributed_vecmat",
+    "run_single_node",
+]

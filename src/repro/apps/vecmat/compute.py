@@ -1,0 +1,50 @@
+"""Functional side of the distributed GEMV: numpy partials and checks."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def partition_columns(matrix: np.ndarray, parts: int) -> List[np.ndarray]:
+    """Column-wise partition (the §6.2 strategy): each rank gets a block of
+    columns and the matching slice of the input vector."""
+    if matrix.ndim != 2:
+        raise ConfigurationError("expected a 2-D weight matrix")
+    if not 1 <= parts <= matrix.shape[1]:
+        raise ConfigurationError(
+            f"cannot split {matrix.shape[1]} columns into {parts} parts"
+        )
+    return [np.ascontiguousarray(block)
+            for block in np.array_split(matrix, parts, axis=1)]
+
+
+def partition_vector(vector: np.ndarray, parts: int) -> List[np.ndarray]:
+    return [np.ascontiguousarray(chunk)
+            for chunk in np.array_split(vector, parts)]
+
+
+def partial_gemv(matrix_block: np.ndarray,
+                 vector_chunk: np.ndarray) -> np.ndarray:
+    """One rank's contribution: a full-length partial output vector."""
+    if matrix_block.shape[1] != vector_chunk.shape[0]:
+        raise ConfigurationError(
+            f"block of {matrix_block.shape[1]} columns cannot multiply a "
+            f"chunk of {vector_chunk.shape[0]} elements"
+        )
+    return matrix_block @ vector_chunk
+
+
+def reference_gemv(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    return matrix @ vector
+
+
+def make_problem(rows: int, cols: int,
+                 seed: int = 7) -> Tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    matrix = rng.standard_normal((rows, cols)).astype(np.float32)
+    vector = rng.standard_normal(cols).astype(np.float32)
+    return matrix, vector

@@ -1,0 +1,74 @@
+"""CPU cost model for GEMV with a cache hierarchy.
+
+GEMV is memory-bound: every weight is touched once per call, so the time is
+dominated by where the matrix partition *resides* — L2, L3 or DRAM.  This is
+exactly the mechanism behind Figure 16's super-linear speedups: "the weight
+matrix partitions fitting into either L2 (8 MB) or L3 (128 MB) caches on the
+CPU after partitioning, whereas the entire matrix did not fit in caches
+during single-node execution."
+
+Cache *pollution* models the other Figure 16 effect: a reduction executed on
+the CPU (software MPI) streams its buffers through the same caches and
+evicts part of the matrix, so the next GEMV re-faults those bytes from the
+next level.  ACCL+ keeps "all intermediate reduction data structures" in
+FPGA memory and avoids this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro import units
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """EPYC-class core running a SIMD GEMV (Eigen)."""
+
+    l2_bytes: int = 8 * units.MIB       # paper: 8 MB
+    l3_bytes: int = 128 * units.MIB     # paper: 128 MB
+    l2_bw: float = 250e9                # bytes/s streaming from L2
+    l3_bw: float = 110e9                # bytes/s streaming from L3
+    dram_bw: float = 22e9               # bytes/s streaming from DRAM
+    flops: float = 80e9                 # peak SIMD FLOP/s, one heavy core
+    call_overhead: float = units.us(2)  # function call + loop setup
+
+    def residency(self, working_set_bytes: int) -> str:
+        if working_set_bytes <= self.l2_bytes:
+            return "l2"
+        if working_set_bytes <= self.l3_bytes:
+            return "l3"
+        return "dram"
+
+    def bandwidth(self, level: str) -> float:
+        return {"l2": self.l2_bw, "l3": self.l3_bw, "dram": self.dram_bw}[level]
+
+    def next_level(self, level: str) -> str:
+        return {"l2": "l3", "l3": "dram", "dram": "dram"}[level]
+
+
+def gemv_time(
+    spec: CpuSpec,
+    rows: int,
+    cols: int,
+    dtype_bytes: int = 4,
+    polluted_bytes: int = 0,
+) -> float:
+    """One y = W @ x with W of ``rows x cols``, steady-state resident.
+
+    ``polluted_bytes`` of the matrix have been evicted since the previous
+    call and stream from the next memory level.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ConfigurationError("matrix dimensions must be positive")
+    matrix_bytes = rows * cols * dtype_bytes
+    vectors_bytes = (rows + cols) * dtype_bytes
+    level = spec.residency(matrix_bytes + vectors_bytes)
+    refault = min(max(0, polluted_bytes), matrix_bytes)
+
+    resident_time = (matrix_bytes - refault) / spec.bandwidth(level)
+    refault_time = refault / spec.bandwidth(spec.next_level(level))
+    compute_time = 2.0 * rows * cols / spec.flops
+    return spec.call_overhead + max(compute_time,
+                                    resident_time + refault_time)

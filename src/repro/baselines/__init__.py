@@ -1,0 +1,25 @@
+"""Comparator systems used in the paper's evaluation (§5).
+
+- :mod:`repro.baselines.mpi` -- software MPI on CPU nodes with commodity
+  NICs: OpenMPI-over-UCX/RoCE and MPICH-over-kernel-TCP personalities,
+  including MPI's fine-grained per-(size, nprocs) algorithm selection.
+- :mod:`repro.baselines.f2f` -- the FPGA-to-FPGA-via-CPU detour the paper
+  models in Figure 9: PCIe out, software collective, PCIe back, kernel
+  invocation.
+- :mod:`repro.baselines.accl_v1` -- ACCL (HotI'21): the predecessor whose
+  uC also handles per-packet receive work, capping throughput (Fig 13).
+"""
+
+from repro.baselines.mpi import MpiCluster, MpiRank, build_mpi_cluster
+from repro.baselines.tuning import MpiTuning
+from repro.baselines.f2f import F2fMpiModel
+from repro.baselines.accl_v1 import build_accl_v1_cluster
+
+__all__ = [
+    "MpiCluster",
+    "MpiRank",
+    "build_mpi_cluster",
+    "MpiTuning",
+    "F2fMpiModel",
+    "build_accl_v1_cluster",
+]

@@ -1,0 +1,38 @@
+"""Benchmark harness: regenerates every table and figure of the evaluation.
+
+Each ``run_*`` function in :mod:`repro.bench.harness` reproduces one paper
+artifact and returns structured rows; :mod:`repro.bench.formats` renders
+them as the text tables the benchmarks print.  The pytest-benchmark targets
+live in ``benchmarks/`` at the repository root.
+"""
+
+from repro.bench.harness import (
+    run_fig07_sendrecv_throughput,
+    run_fig08_invocation_latency,
+    run_fig09_f2f_breakdown,
+    run_fig10_f2f_collectives,
+    run_fig11_h2h_collectives,
+    run_fig12_reduce_scalability,
+    run_fig13_tcp_xrt,
+    run_fig16_vecmat,
+    run_fig17_dlrm,
+    run_tab01_algorithm_table,
+    run_tab03_resources,
+)
+from repro.bench.formats import format_rows, format_series
+
+__all__ = [
+    "run_fig07_sendrecv_throughput",
+    "run_fig08_invocation_latency",
+    "run_fig09_f2f_breakdown",
+    "run_fig10_f2f_collectives",
+    "run_fig11_h2h_collectives",
+    "run_fig12_reduce_scalability",
+    "run_fig13_tcp_xrt",
+    "run_fig16_vecmat",
+    "run_fig17_dlrm",
+    "run_tab01_algorithm_table",
+    "run_tab03_resources",
+    "format_rows",
+    "format_series",
+]

@@ -1,0 +1,138 @@
+"""CLI: regenerate evaluation artifacts without pytest.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench fig07 fig08 tab03
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import formats, harness
+
+
+def _fig07():
+    rows = harness.run_fig07_sendrecv_throughput()
+    return formats.format_rows(
+        rows, ["size", "accl_f2f_gbps", "accl_h2h_gbps", "mpi_rdma_gbps"],
+        title="Figure 7 — send/recv throughput (Gb/s)")
+
+
+def _fig08():
+    rows = harness.run_fig08_invocation_latency()
+    return formats.format_rows(rows, ["caller", "latency_us"],
+                               title="Figure 8 — invocation latency (us)")
+
+
+def _fig09():
+    rows = harness.run_fig09_f2f_breakdown()
+    return formats.format_rows(
+        rows, ["size", "pcie_in", "collective", "pcie_out", "invocation",
+               "total"],
+        title="Figure 9 — MPI F2F broadcast breakdown (us)")
+
+
+def _collective_table(result, title):
+    rows = []
+    for opcode, by_size in result.items():
+        for size_label, (accl, mpi) in by_size.items():
+            rows.append({"collective": opcode, "size": size_label,
+                         "accl_us": accl, "mpi_us": mpi,
+                         "ratio": accl / mpi})
+    return formats.format_rows(
+        rows, ["collective", "size", "accl_us", "mpi_us", "ratio"],
+        title=title)
+
+
+def _fig10():
+    return _collective_table(harness.run_fig10_f2f_collectives(),
+                             "Figure 10 — F2F collectives, 8 ranks (us)")
+
+
+def _fig11():
+    return _collective_table(harness.run_fig11_h2h_collectives(),
+                             "Figure 11 — H2H collectives, 8 ranks (us)")
+
+
+def _fig12():
+    series = harness.run_fig12_reduce_scalability()
+    return formats.format_series(
+        series, "ranks", title="Figure 12 — reduce latency vs ranks (us)")
+
+
+def _fig13():
+    result = harness.run_fig13_tcp_xrt()
+    rows = []
+    for opcode, by_size in result.items():
+        for size_label, vals in by_size.items():
+            rows.append({"collective": opcode, "size": size_label, **vals})
+    return formats.format_rows(
+        rows, ["collective", "size", "accl+_f2f_us", "accl_v1_us",
+               "mpi_tcp_us", "accl+_h2h_us"],
+        title="Figure 13 — TCP on XRT, 4 ranks (us)")
+
+
+def _fig16():
+    rows = harness.run_fig16_vecmat()
+    return formats.format_rows(
+        rows, ["fc_size", "ranks", "backend", "compute_us", "reduce_us",
+               "speedup", "correct"],
+        title="Figure 16 — distributed vector-matrix multiplication")
+
+
+def _fig17():
+    result = harness.run_fig17_dlrm()
+    parts = [formats.format_rows(
+        result["cpu"], ["batch", "latency_ms", "throughput"],
+        title="Figure 17 — CPU baseline")]
+    accl = result["accl"]
+    parts.append(formats.format_rows(
+        [accl], ["latency_us", "p99_us", "throughput", "correct"],
+        title="Figure 17 — ACCL+ DLRM on 10 FPGAs"))
+    return "\n\n".join(parts)
+
+
+def _tab01():
+    rows = harness.run_tab01_algorithm_table()
+    return formats.format_rows(
+        rows, ["collective", "eager", "rndz_small", "rndz_large"],
+        title="Table 1 — algorithm selection")
+
+
+def _tab03():
+    rows = harness.run_tab03_resources()
+    return formats.format_rows(
+        rows, ["component", "CLB kLUT", "DSP", "BRAM", "URAM"],
+        title="Table 3 — resource utilization (% of U55C)")
+
+
+ARTIFACTS = {
+    "fig07": _fig07, "fig08": _fig08, "fig09": _fig09, "fig10": _fig10,
+    "fig11": _fig11, "fig12": _fig12, "fig13": _fig13, "fig16": _fig16,
+    "fig17": _fig17, "tab01": _tab01, "tab03": _tab03,
+}
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print(__doc__.strip())
+        print("\navailable artifacts:", ", ".join(sorted(ARTIFACTS)))
+        return 0
+    names = sorted(ARTIFACTS) if argv == ["all"] else argv
+    unknown = [n for n in names if n not in ARTIFACTS]
+    if unknown:
+        print(f"unknown artifacts: {', '.join(unknown)}", file=sys.stderr)
+        print("available:", ", ".join(sorted(ARTIFACTS)), file=sys.stderr)
+        return 2
+    for name in names:
+        print(ARTIFACTS[name]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Plain-text rendering of benchmark results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_rows(rows: Sequence[dict], columns: Sequence[str],
+                title: str = "") -> str:
+    """Render dict rows as an aligned text table."""
+    widths = {c: len(c) for c in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for c in columns:
+            value = row.get(c, "")
+            text = f"{value:.4g}" if isinstance(value, float) else str(value)
+            widths[c] = max(widths[c], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in rendered:
+        lines.append("  ".join(
+            cell.ljust(widths[c]) for cell, c in zip(cells, columns)
+        ))
+    return "\n".join(lines)
+
+
+def format_series(series: Dict[str, Dict], x_label: str,
+                  y_format: str = "{:.2f}", title: str = "") -> str:
+    """Render ``{series_name: {x: y}}`` as one table, x values as rows."""
+    xs = sorted({x for ys in series.values() for x in ys})
+    names = list(series)
+    rows = []
+    for x in xs:
+        row = {x_label: x}
+        for name in names:
+            y = series[name].get(x)
+            row[name] = "-" if y is None else y_format.format(y)
+        rows.append(row)
+    return format_rows(rows, [x_label, *names], title=title)

@@ -1,0 +1,506 @@
+"""Experiment implementations for every evaluation artifact (§5-§6).
+
+All functions build fresh simulated clusters, run the workload, and return
+plain rows/series.  Message payloads are timing-only here (no numpy arrays
+attached): functional correctness is covered by the test suite, and the
+benchmarks sweep into the hundreds of megabytes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro import units
+from repro.apps.dlrm import CpuDlrmBaseline, DistributedDlrm, DlrmModel
+from repro.apps.vecmat import run_distributed_vecmat
+from repro.baselines import F2fMpiModel, build_accl_v1_cluster, build_mpi_cluster
+from repro.baselines import algorithms as mpi_alg
+from repro.cclo.config_mem import CommunicatorConfig
+from repro.cclo.microcontroller import CollectiveArgs
+from repro.cluster import FpgaCluster, build_fpga_cluster
+from repro.driver import attach_drivers
+from repro.platform.base import BufferLocation
+from repro.resources import utilization_table
+from repro.sim import all_of
+
+KIB = units.KIB
+MIB = units.MIB
+
+COLLECTIVES = ("bcast", "scatter", "gather", "reduce", "allreduce", "alltoall")
+
+
+# ---------------------------------------------------------------------------
+# shared runners
+# ---------------------------------------------------------------------------
+
+def _buffers_for(cluster: FpgaCluster, opcode: str, size: int, rank: int,
+                 root: int, location: BufferLocation):
+    """Allocate timing-only buffers matching one collective's signature."""
+    plat = cluster.nodes[rank].platform
+    n = cluster.size
+
+    def alloc(nbytes):
+        return plat.allocate(nbytes, location).view()
+
+    if opcode == "bcast":
+        return None, alloc(size)
+    if opcode == "scatter":
+        return (alloc(n * size) if rank == root else None), alloc(size)
+    if opcode == "gather":
+        return alloc(size), (alloc(n * size) if rank == root else None)
+    if opcode == "reduce":
+        return alloc(size), (alloc(size) if rank == root else None)
+    if opcode == "allreduce":
+        return alloc(size), alloc(size)
+    if opcode == "alltoall":
+        return alloc(n * size), alloc(n * size)
+    raise ValueError(f"no buffer plan for {opcode!r}")
+
+
+def accl_collective_time(
+    opcode: str,
+    size: int,
+    n_nodes: int = 8,
+    protocol: str = "rdma",
+    platform: str = "coyote",
+    location: BufferLocation = BufferLocation.DEVICE,
+    sync_protocol: Optional[str] = None,
+    algorithm: Optional[str] = None,
+    via_driver: bool = False,
+    cclo_config=None,
+    cluster_builder: Callable = build_fpga_cluster,
+) -> float:
+    """Run one ACCL+ collective on a fresh cluster; returns seconds.
+
+    ``via_driver=True`` goes through the host CCL driver (H2H style:
+    invocation latency + staging where the platform needs it); otherwise the
+    engines are invoked directly, as FPGA kernels would (F2F style).
+    """
+    cluster = cluster_builder(n_nodes, protocol=protocol, platform=platform,
+                              cclo_config=cclo_config)
+    root = 0
+    buffers = {
+        rank: _buffers_for(cluster, opcode, size, rank, root, location)
+        for rank in range(n_nodes)
+    }
+    if via_driver:
+        drivers = attach_drivers(cluster)
+        start = cluster.env.now
+        requests = []
+        for rank, drv in enumerate(drivers):
+            sbuf, rbuf = buffers[rank]
+            kwargs = dict(protocol=sync_protocol, algorithm=algorithm)
+            if opcode == "bcast":
+                req = drv.bcast(rbuf, size, root, **kwargs)
+            elif opcode == "scatter":
+                req = drv.scatter(sbuf, rbuf, size, root, **kwargs)
+            elif opcode == "gather":
+                req = drv.gather(sbuf, rbuf, size, root, **kwargs)
+            elif opcode == "reduce":
+                req = drv.reduce(sbuf, rbuf, size, root, **kwargs)
+            elif opcode == "allreduce":
+                req = drv.allreduce(sbuf, rbuf, size,
+                                    protocol=sync_protocol,
+                                    algorithm=algorithm)
+            elif opcode == "alltoall":
+                req = drv.alltoall(sbuf, rbuf, size, protocol=sync_protocol)
+            else:
+                raise ValueError(opcode)
+            requests.append(req.event)
+        cluster.env.run(until=all_of(cluster.env, requests))
+        return cluster.env.now - start
+
+    def make_args(rank):
+        sbuf, rbuf = buffers[rank]
+        return CollectiveArgs(
+            opcode=opcode, comm_id=0, nbytes=size, root=root,
+            tag=1 << 20, sbuf=sbuf, rbuf=rbuf,
+            protocol=sync_protocol, algorithm=algorithm,
+        )
+
+    return cluster.run_collective(make_args)
+
+
+def accl_best_protocol_time(opcode: str, size: int, **kwargs) -> float:
+    """Better of eager and rendezvous, as the paper presents (Fig 10)."""
+    times = []
+    for sync in ("eager", "rndz"):
+        times.append(accl_collective_time(opcode, size,
+                                          sync_protocol=sync, **kwargs))
+    return min(times)
+
+
+_MPI_COLLECTIVE = {
+    "bcast": lambda me, size, tag: mpi_alg.mpi_bcast(me, None, size, 0, tag),
+    "scatter": lambda me, size, tag: mpi_alg.mpi_scatter(
+        me, None, None, size, 0, tag),
+    "gather": lambda me, size, tag: mpi_alg.mpi_gather(
+        me, None, None, size, 0, tag),
+    "reduce": lambda me, size, tag: mpi_alg.mpi_reduce(
+        me, None, None, size, 0, tag=tag),
+    "allreduce": lambda me, size, tag: mpi_alg.mpi_allreduce(
+        me, None, None, size, tag=tag),
+    "alltoall": lambda me, size, tag: mpi_alg.mpi_alltoall(
+        me, None, None, size, tag),
+}
+
+#: PCIe staging volume per rank for the F2F-via-CPU detour of Figure 9/10.
+_MPI_F2F_VOLUME = {
+    "bcast": (lambda r, n, s: s if r == 0 else 0,
+              lambda r, n, s: 0 if r == 0 else s),
+    "scatter": (lambda r, n, s: n * s if r == 0 else 0,
+                lambda r, n, s: s),
+    "gather": (lambda r, n, s: s,
+               lambda r, n, s: n * s if r == 0 else 0),
+    "reduce": (lambda r, n, s: s,
+               lambda r, n, s: s if r == 0 else 0),
+    "allreduce": (lambda r, n, s: s, lambda r, n, s: s),
+    "alltoall": (lambda r, n, s: n * s, lambda r, n, s: n * s),
+}
+
+
+def mpi_collective_time(opcode: str, size: int, n_ranks: int = 8,
+                        library: str = "openmpi",
+                        transport: str = "rdma") -> float:
+    """Software MPI collective on host data (the H2H baseline)."""
+    cluster = build_mpi_cluster(n_ranks, library=library, transport=transport)
+    fn = _MPI_COLLECTIVE[opcode]
+    return cluster.run_all(lambda me: fn(me, size, 0))
+
+
+def mpi_f2f_collective_time(opcode: str, size: int, n_ranks: int = 8,
+                            library: str = "openmpi",
+                            transport: str = "rdma",
+                            invocation: float = units.us(2.3)) -> float:
+    """Software MPI on device data: PCIe out, collective, PCIe back (Fig 9)."""
+    cluster = build_mpi_cluster(n_ranks, library=library, transport=transport)
+    model = F2fMpiModel(cluster, invocation_latency=invocation)
+    fn = _MPI_COLLECTIVE[opcode]
+    in_fn, out_fn = _MPI_F2F_VOLUME[opcode]
+    breakdown = model.run(
+        lambda me: fn(me, size, 0),
+        in_bytes=lambda r: in_fn(r, n_ranks, size),
+        out_bytes=lambda r: out_fn(r, n_ranks, size),
+    )
+    return breakdown.total
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: send/recv throughput
+# ---------------------------------------------------------------------------
+
+def _accl_p2p_time(size: int, n_msgs: int,
+                   location: BufferLocation) -> float:
+    cluster = build_fpga_cluster(2, protocol="rdma", platform="coyote")
+    p0, p1 = (cluster.nodes[0].platform, cluster.nodes[1].platform)
+    events = []
+    for i in range(n_msgs):
+        rbuf = p1.allocate(size, location).view()
+        sbuf = p0.allocate(size, location).view()
+        events.append(cluster.engine(1).call(CollectiveArgs(
+            opcode="recv", nbytes=size, peer=0, tag=i, rbuf=rbuf)))
+        events.append(cluster.engine(0).call(CollectiveArgs(
+            opcode="send", nbytes=size, peer=1, tag=i, sbuf=sbuf)))
+    start = cluster.env.now
+    cluster.env.run(until=all_of(cluster.env, events))
+    return cluster.env.now - start
+
+
+def _mpi_p2p_time(size: int, n_msgs: int) -> float:
+    cluster = build_mpi_cluster(2)
+
+    def proc(me):
+        events = []
+        for i in range(n_msgs):
+            if me.rank == 0:
+                events.append(me.isend(None, size, dst=1, tag=i))
+            else:
+                events.append(me.irecv(None, size, src=0, tag=i))
+        for ev in events:
+            yield ev
+
+    return cluster.run_all(proc)
+
+
+def run_fig07_sendrecv_throughput(sizes=None, n_msgs: int = 4) -> List[dict]:
+    """Throughput in Gb/s per transfer size, all four series of Figure 7."""
+    sizes = sizes or [64 * KIB, units.MIB, 16 * MIB, 64 * MIB, 256 * MIB]
+    rows = []
+    for size in sizes:
+        total = n_msgs * size
+        rows.append({
+            "size": units.pretty_size(size),
+            "accl_f2f_gbps": units.to_gbps(
+                total / _accl_p2p_time(size, n_msgs, BufferLocation.DEVICE)),
+            "accl_h2h_gbps": units.to_gbps(
+                total / _accl_p2p_time(size, n_msgs, BufferLocation.HOST)),
+            "mpi_rdma_gbps": units.to_gbps(
+                total / _mpi_p2p_time(size, n_msgs)),
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: CCLO invocation latency
+# ---------------------------------------------------------------------------
+
+def run_fig08_invocation_latency(repeats: int = 5) -> List[dict]:
+    """NOP invocation latency from FPGA kernel / Coyote host / XRT host."""
+
+    def host_nop(platform: str, protocol: str) -> float:
+        cluster = build_fpga_cluster(2, protocol=protocol, platform=platform)
+        driver = attach_drivers(cluster)[0]
+        times = []
+        for _ in range(repeats):
+            req = driver.nop()
+            req.wait()
+            times.append(req.duration)
+        return float(np.mean(times))
+
+    def kernel_nop() -> float:
+        cluster = build_fpga_cluster(2, protocol="rdma", platform="coyote")
+        engine = cluster.engine(0)
+        env = cluster.env
+        times = []
+
+        def proc():
+            for _ in range(repeats):
+                start = env.now
+                yield engine.platform.invoke_from_kernel()
+                yield engine.call(CollectiveArgs(opcode="nop"))
+                times.append(env.now - start)
+
+        env.run(until=env.process(proc()))
+        return float(np.mean(times))
+
+    return [
+        {"caller": "FPGA kernel", "latency_us": units.to_us(kernel_nop())},
+        {"caller": "Coyote host",
+         "latency_us": units.to_us(host_nop("coyote", "rdma"))},
+        {"caller": "XRT host",
+         "latency_us": units.to_us(host_nop("vitis", "tcp"))},
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: latency breakdown of MPI-based F2F broadcast
+# ---------------------------------------------------------------------------
+
+def run_fig09_f2f_breakdown(sizes=None, n_ranks: int = 8) -> List[dict]:
+    sizes = sizes or [4 * KIB, 64 * KIB, units.MIB, 16 * MIB, 64 * MIB]
+    rows = []
+    for size in sizes:
+        cluster = build_mpi_cluster(n_ranks)
+        model = F2fMpiModel(cluster)
+        breakdown = model.run(
+            lambda me: mpi_alg.mpi_bcast(me, None, size, 0, 0),
+            in_bytes=lambda r: size if r == 0 else 0,
+            out_bytes=lambda r: 0 if r == 0 else size,
+        )
+        d = breakdown.as_dict()
+        rows.append({
+            "size": units.pretty_size(size),
+            **{k: units.to_us(v) for k, v in d.items()},
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 10/11: collective latency, F2F and H2H
+# ---------------------------------------------------------------------------
+
+def run_fig10_f2f_collectives(sizes=None, n_ranks: int = 8) -> Dict[str, Dict]:
+    """F2F: ACCL+ RDMA on device data vs software MPI with the PCIe detour.
+
+    Returns ``{collective: {size_label: (accl_us, mpi_us)}}``.
+    """
+    sizes = sizes or [KIB, 16 * KIB, 256 * KIB, 4 * MIB]
+    result: Dict[str, Dict] = {}
+    for opcode in COLLECTIVES:
+        result[opcode] = {}
+        for size in sizes:
+            accl = accl_best_protocol_time(
+                opcode, size, n_nodes=n_ranks,
+                location=BufferLocation.DEVICE, via_driver=False,
+            )
+            mpi = mpi_f2f_collective_time(opcode, size, n_ranks)
+            result[opcode][units.pretty_size(size)] = (
+                units.to_us(accl), units.to_us(mpi))
+    return result
+
+
+def run_fig11_h2h_collectives(sizes=None, n_ranks: int = 8) -> Dict[str, Dict]:
+    """H2H: ACCL+ as offload engine on host data vs plain software MPI."""
+    sizes = sizes or [KIB, 16 * KIB, 256 * KIB, 4 * MIB]
+    result: Dict[str, Dict] = {}
+    for opcode in COLLECTIVES:
+        result[opcode] = {}
+        for size in sizes:
+            accl = accl_best_protocol_time(
+                opcode, size, n_nodes=n_ranks,
+                location=BufferLocation.HOST, via_driver=True,
+            )
+            mpi = mpi_collective_time(opcode, size, n_ranks)
+            result[opcode][units.pretty_size(size)] = (
+                units.to_us(accl), units.to_us(mpi))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: reduce latency vs rank count
+# ---------------------------------------------------------------------------
+
+def run_fig12_reduce_scalability(rank_range=range(2, 9),
+                                 sizes=(8 * KIB, 128 * KIB)) -> Dict[str, Dict]:
+    """Latency-vs-ranks series for ACCL+ and software MPI (both sizes)."""
+    series: Dict[str, Dict] = {}
+    for size in sizes:
+        label = units.pretty_size(size)
+        series[f"accl_{label}"] = {}
+        series[f"mpi_{label}"] = {}
+        for n in rank_range:
+            accl = accl_collective_time(
+                "reduce", size, n_nodes=n,
+                location=BufferLocation.DEVICE, sync_protocol="rndz",
+            )
+            mpi = mpi_collective_time("reduce", size, n)
+            series[f"accl_{label}"][n] = units.to_us(accl)
+            series[f"mpi_{label}"][n] = units.to_us(mpi)
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: TCP on the XRT platform, vs software MPI TCP and ACCL v1
+# ---------------------------------------------------------------------------
+
+def run_fig13_tcp_xrt(sizes=None, n_ranks: int = 4,
+                      opcodes=("bcast", "reduce")) -> Dict[str, Dict]:
+    sizes = sizes or [4 * KIB, 64 * KIB, 512 * KIB]
+    result: Dict[str, Dict] = {}
+    for opcode in opcodes:
+        result[opcode] = {}
+        for size in sizes:
+            label = units.pretty_size(size)
+            accl_f2f = accl_collective_time(
+                opcode, size, n_nodes=n_ranks, protocol="tcp",
+                platform="vitis", location=BufferLocation.DEVICE,
+            )
+            accl_h2h = accl_collective_time(
+                opcode, size, n_nodes=n_ranks, protocol="tcp",
+                platform="vitis", location=BufferLocation.HOST,
+                via_driver=True,
+            )
+            v1_f2f = accl_collective_time(
+                opcode, size, n_nodes=n_ranks, protocol="tcp",
+                platform="vitis", location=BufferLocation.DEVICE,
+                cluster_builder=lambda n, **kw: build_accl_v1_cluster(n),
+            )
+            mpi = mpi_collective_time(opcode, size, n_ranks,
+                                      library="mpich", transport="tcp")
+            result[opcode][label] = {
+                "accl+_f2f_us": units.to_us(accl_f2f),
+                "accl+_h2h_us": units.to_us(accl_h2h),
+                "accl_v1_us": units.to_us(v1_f2f),
+                "mpi_tcp_us": units.to_us(mpi),
+            }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 1: the algorithm-selection table
+# ---------------------------------------------------------------------------
+
+def run_tab01_algorithm_table() -> List[dict]:
+    """Regenerate Table 1 from the live selector."""
+    from repro.cclo.config_mem import AlgorithmParams
+    from repro.collectives import AlgorithmSelector
+
+    selector = AlgorithmSelector()
+    params = AlgorithmParams()
+    rows = []
+    comm_small = CommunicatorConfig(0, 0, list(range(4)), protocol="rdma")
+    comm_large = CommunicatorConfig(0, 0, list(range(8)), protocol="rdma")
+    comm_udp = CommunicatorConfig(0, 0, list(range(8)), protocol="udp")
+    small, large = 2 * KIB, 256 * KIB
+    for opcode in ("bcast", "reduce", "gather", "alltoall"):
+        eager = selector.choose(
+            CollectiveArgs(opcode=opcode, nbytes=small, protocol="eager"),
+            comm_udp, params)
+        rndz_small = selector.choose(
+            CollectiveArgs(opcode=opcode, nbytes=small, protocol="rndz"),
+            comm_small, params)
+        rndz_large = selector.choose(
+            CollectiveArgs(opcode=opcode, nbytes=large, protocol="rndz"),
+            comm_large, params)
+        rows.append({
+            "collective": opcode,
+            "eager": eager,
+            "rndz_small": rndz_small,
+            "rndz_large": rndz_large,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: distributed vector-matrix multiplication
+# ---------------------------------------------------------------------------
+
+def run_fig16_vecmat(sizes=(2048, 4096, 8192),
+                     rank_counts=(2, 4, 8)) -> List[dict]:
+    rows = []
+    for rows_cols in sizes:
+        for ranks in rank_counts:
+            for backend in ("accl", "mpi"):
+                r = run_distributed_vecmat(rows_cols, rows_cols, ranks,
+                                           backend)
+                rows.append({
+                    "fc_size": rows_cols,
+                    "ranks": ranks,
+                    "backend": backend,
+                    "compute_us": units.to_us(r.compute_time),
+                    "reduce_us": units.to_us(r.reduction_time),
+                    "speedup": r.speedup,
+                    "correct": r.result_ok,
+                })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 17: DLRM latency and throughput
+# ---------------------------------------------------------------------------
+
+def run_fig17_dlrm(n_inferences: int = 48) -> dict:
+    model = DlrmModel()
+    dlrm = DistributedDlrm(model)
+    queries = model.make_queries(n_inferences)
+    stats = dlrm.run(queries)
+    reference = model.forward_batch(queries)
+    cpu = CpuDlrmBaseline()
+    return {
+        "accl": {
+            "latency_us": units.to_us(stats.mean_latency),
+            "p99_us": units.to_us(stats.p99_latency),
+            "throughput": stats.throughput,
+            "correct": bool(np.allclose(stats.outputs, reference,
+                                        rtol=1e-3, atol=1e-4)),
+        },
+        "cpu": [
+            {"batch": b, "latency_ms": units.to_ms(lat), "throughput": thr}
+            for b, lat, thr in cpu.sweep()
+        ],
+        "cpu_best_throughput": cpu.best_throughput(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Table 3: resource utilization
+# ---------------------------------------------------------------------------
+
+def run_tab03_resources() -> List[dict]:
+    rows = []
+    for name, pct in utilization_table():
+        rows.append({"component": name,
+                     **{k: round(v, 1) for k, v in pct.items()}})
+    return rows

@@ -1,0 +1,62 @@
+"""The CCLO engine: ACCL+'s collective offload engine (§4.4).
+
+Architecture mirrors Figure 5 of the paper:
+
+- **control plane** (flexible): :class:`MicroController` running swappable
+  firmware, a :class:`DataMovementProcessor` executing 3-slot microcode, and
+  an :class:`RxBufManager` for eager-protocol buffering — states live in
+  :class:`ConfigMemory` (host-visible).
+- **data plane** (parallel): :class:`TxSystem` / :class:`RxSystem`
+  packetizing the lightweight message :class:`Signature`, an internal
+  :class:`NoC` for dest-routed streams, and streaming :class:`PluginRegistry`
+  arithmetic for in-flight reductions.
+
+:class:`CcloEngine` composes the blocks on top of a platform and a POE.
+"""
+
+from repro.cclo.messages import (
+    BufferDescriptor,
+    MsgType,
+    Signature,
+    SIGNATURE_BYTES,
+)
+from repro.cclo.config_mem import CcloConfig, CommunicatorConfig, ConfigMemory
+from repro.cclo.match import MatchTable
+from repro.cclo.plugins import PluginRegistry
+from repro.cclo.noc import NoC
+from repro.cclo.rbm import RxBufManager, RxRecord
+from repro.cclo.txrx import RxSystem, TxSystem
+from repro.cclo.dmp import DataMovementProcessor, Microcode, Slot, SlotKind
+from repro.cclo.microcontroller import (
+    CollectiveArgs,
+    FirmwareContext,
+    FirmwareRegistry,
+    MicroController,
+)
+from repro.cclo.engine import CcloEngine
+
+__all__ = [
+    "BufferDescriptor",
+    "MsgType",
+    "Signature",
+    "SIGNATURE_BYTES",
+    "CcloConfig",
+    "CommunicatorConfig",
+    "ConfigMemory",
+    "MatchTable",
+    "PluginRegistry",
+    "NoC",
+    "RxBufManager",
+    "RxRecord",
+    "RxSystem",
+    "TxSystem",
+    "DataMovementProcessor",
+    "Microcode",
+    "Slot",
+    "SlotKind",
+    "CollectiveArgs",
+    "FirmwareContext",
+    "FirmwareRegistry",
+    "MicroController",
+    "CcloEngine",
+]

@@ -1,0 +1,206 @@
+"""CcloEngine: composition of the CCLO blocks on a platform + POE (§4.4).
+
+"The CCLO Engine orchestrates the collective data movement through a set of
+standardized CCLO interfaces.  The CCLO accepts communication requests from
+the host or application kernels, communicates with the protocol offload
+engine, manages buffers in FPGA memory, and manages data streams from other
+kernels."
+
+One engine instance lives on one simulated FPGA.  Host-side drivers talk to
+:meth:`call`; FPGA kernels talk to the same interface through
+:class:`repro.driver.streaming.KernelInterface` plus the two kernel data
+channels.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.errors import CcloError
+from repro.platform.base import BasePlatform, BufferLocation
+from repro.protocols.base import BasePoe, MessageHeader
+from repro.protocols.rdma import RdmaPoe
+from repro.sim import Channel, Environment, Event, all_of
+from repro.cclo.config_mem import CcloConfig, CommunicatorConfig, ConfigMemory
+from repro.cclo.dmp import DataMovementProcessor
+from repro.cclo.microcontroller import (
+    CollectiveArgs,
+    FirmwareRegistry,
+    MicroController,
+)
+from repro.cclo.noc import NoC
+from repro.cclo.plugins import PluginRegistry
+from repro.cclo.rbm import RxBufManager
+from repro.cclo.txrx import RxSystem, TxSystem
+
+
+class CcloEngine:
+    """One collective offload engine instance."""
+
+    def __init__(
+        self,
+        env: Environment,
+        platform: BasePlatform,
+        poe: BasePoe,
+        config: Optional[CcloConfig] = None,
+        name: str = "cclo",
+    ):
+        self.env = env
+        self.platform = platform
+        self.poe = poe
+        self.name = name
+        self.config_mem = ConfigMemory(config)
+        cfg = self.config_mem.config
+
+        self.plugins = PluginRegistry(cfg.plugins)
+        self.noc = NoC(env, cfg, name=f"{name}.noc")
+        for port in ("memory", "plugin", "tx", "rx", "kernel"):
+            self.noc.register_port(port)
+
+        device_memory = getattr(platform, "device_memory", None)
+        if device_memory is None:
+            device_memory = platform.memory  # SimPlatform's flat memory
+        self.device_memory = device_memory
+        self.rbm = RxBufManager(env, cfg, device_memory, name=f"{name}.rbm")
+        self.tx = TxSystem(env, cfg, poe, name=f"{name}.tx")
+        self.rx = RxSystem(env, cfg, self.rbm, name=f"{name}.rx")
+        poe.on_message(self.rx.handle)
+        if isinstance(poe, RdmaPoe):
+            poe.set_memory_writer(self._rndz_memory_write)
+            poe.set_segment_writer(self._rndz_segment_landing)
+
+        self.dmp = DataMovementProcessor(env, cfg, self, name=f"{name}.dmp")
+
+        # Default firmware + selection policy (Table 1); users may register
+        # additional collectives against ``self.uc.registry`` at runtime.
+        from repro.collectives import AlgorithmSelector, install_default_firmware
+
+        self.selector = AlgorithmSelector()
+        registry = FirmwareRegistry()
+        install_default_firmware(registry)
+        self.uc = MicroController(
+            env, self.config_mem, self, registry, name=f"{name}.uc"
+        )
+        self.rx.uc_charge = self.uc.charge
+
+        #: kernel -> CCLO data stream (items: ``(nbytes, data)``)
+        self.kernel_data_in = Channel(env, capacity=64, name=f"{name}.k_in")
+        #: CCLO -> kernel data stream
+        self.kernel_data_out = Channel(env, capacity=64, name=f"{name}.k_out")
+
+        self._rndz_targets: Dict[int, dict] = {}
+        self._target_ids = itertools.count(1)
+        self.tracer = None
+
+    # -- tracing ------------------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Record uC/DMP/Tx/Rx events into *tracer* (see repro.trace)."""
+        self.tracer = tracer
+
+    def trace(self, component: str, event: str, **detail) -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.env.now, f"{self.name}.{component}",
+                               event, **detail)
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def address(self) -> int:
+        """Fabric address of this engine's network port."""
+        return self.poe.address
+
+    @property
+    def config(self) -> CcloConfig:
+        return self.config_mem.config
+
+    # -- configuration ---------------------------------------------------------
+
+    def add_communicator(self, comm: CommunicatorConfig) -> None:
+        self.config_mem.add_communicator(comm)
+
+    # -- command interface ----------------------------------------------------------
+
+    def call(self, args: CollectiveArgs) -> Event:
+        """Submit a command (from host driver or kernel adapter)."""
+        return self.uc.call(args)
+
+    # -- rendezvous target registry ---------------------------------------------------
+
+    def register_rndz_target(self, dest: Any, nbytes: int) -> int:
+        """Pin a receive destination for an inbound one-sided WRITE.
+
+        ``dest`` is a BufferView, or ``None`` for the kernel stream (the
+        compile-time "streaming into the application kernel" datapath).
+        """
+        target_id = next(self._target_ids)
+        self._rndz_targets[target_id] = {
+            "view": dest,
+            "nbytes": nbytes,
+            "written": Event(self.env),
+            "data": None,
+            "landings": [],
+        }
+        return target_id
+
+    def claim_rndz_target(self, target_id: int) -> dict:
+        try:
+            return self._rndz_targets.pop(target_id)
+        except KeyError:
+            raise CcloError(
+                f"{self.name}: rendezvous target {target_id} unknown or "
+                "already claimed"
+            ) from None
+
+    def _rndz_memory_write(self, header: MessageHeader, data: Any) -> Event:
+        """Passive-side WRITE: data bypasses the CCLO into memory/stream."""
+        descriptor = header.meta
+        entry = self._rndz_targets.get(descriptor.target_id)
+        if entry is None:
+            raise CcloError(
+                f"{self.name}: WRITE targets unknown descriptor {descriptor}"
+            )
+        return self.env.process(
+            self._rndz_write_proc(entry, header.nbytes, data),
+            name=f"{self.name}.rndz_write",
+        )
+
+    def _rndz_segment_landing(self, header: MessageHeader, nbytes: int) -> None:
+        """Cut-through landing: charge memory per WRITE segment on arrival."""
+        descriptor = header.meta
+        entry = self._rndz_targets.get(descriptor.target_id)
+        if entry is not None and entry["view"] is not None:
+            entry["landings"].append(entry["view"].device_write(nbytes))
+
+    def _rndz_write_proc(self, entry: dict, nbytes: int, data: Any):
+        view = entry["view"]
+        entry["data"] = data
+        if view is None:
+            # Stream-destined WRITE: route to the kernel stream port.
+            yield self.noc.route("rx", "kernel", nbytes)
+            yield self.kernel_data_out.put((nbytes, data))
+        elif entry["landings"]:
+            # Segments landed as they arrived; drain the last of them.
+            yield all_of(self.env, entry["landings"])
+            if data is not None:
+                view.set_array(np.asarray(data))
+        else:
+            yield view.device_write(nbytes)
+            if data is not None:
+                view.set_array(np.asarray(data))
+        entry["written"].succeed(nbytes)
+
+    # -- scratch memory (temporaries for rendezvous reductions) -------------------------
+
+    def scratch_alloc(self, nbytes: int):
+        """Allocate a temporary device buffer for intermediate data."""
+        return self.platform.allocate(nbytes, BufferLocation.DEVICE)
+
+    def scratch_free(self, buffer) -> None:
+        buffer.free()
+
+    def __repr__(self) -> str:
+        return f"<CcloEngine {self.name!r} addr={self.address}>"

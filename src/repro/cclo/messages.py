@@ -1,0 +1,69 @@
+"""The ACCL+ lightweight message protocol (§4.4.2).
+
+"Each message consists of a signature and a payload...  The signature
+contains the rank IDs of the message, message type, source and destination,
+message length, tag, a sequence number which is used to keep track of the
+order of the messages and other meta information."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+SIGNATURE_BYTES = 64
+"""Wire size of the signature header prepended by the Tx system."""
+
+ANY_TAG = -1
+"""Wildcard tag for matching."""
+
+
+class MsgType(enum.Enum):
+    """Message types carried in the signature."""
+
+    EAGER = "eager"          # eager payload, lands in an Rx buffer
+    RNDZ_INIT = "rndz_init"  # receiver -> sender: result buffer resolved
+    RNDZ_MSG = "rndz_msg"    # the rendezvous payload (RDMA WRITE)
+    RNDZ_DONE = "rndz_done"  # sender -> receiver: WRITE completed
+    STREAM = "stream"        # payload destined to a kernel stream
+
+
+@dataclass
+class Signature:
+    """Per-message header inserted by the Tx system, parsed by Rx."""
+
+    comm_id: int
+    src_rank: int
+    dst_rank: int
+    msg_type: MsgType
+    nbytes: int
+    tag: int = 0
+    seqno: int = 0
+    payload_meta: Any = None  # e.g. a BufferDescriptor for RNDZ_INIT
+
+    def match_key(self) -> tuple:
+        """Key the receive side matches on: (comm, source, tag)."""
+        return (self.comm_id, self.src_rank, self.tag)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Sig {self.msg_type.value} c{self.comm_id} "
+            f"r{self.src_rank}->r{self.dst_rank} {self.nbytes}B tag={self.tag}>"
+        )
+
+
+@dataclass
+class BufferDescriptor:
+    """Names a registered destination buffer for one-sided WRITEs.
+
+    Carried inside RNDZ_INIT so the sender's RDMA WRITE can target the
+    receiver's result buffer directly (zero copy on the passive side).
+    """
+
+    node_addr: int
+    target_id: int
+    nbytes: int
+
+    def __repr__(self) -> str:
+        return f"<BufDesc node={self.node_addr} id={self.target_id} {self.nbytes}B>"

@@ -1,0 +1,98 @@
+"""Streaming plugins: in-flight unary/binary operators (§4.4.2).
+
+"Binary operations are typically utilized to implement reductions — sum,
+max, etc.  Unary operators may implement compression or encryption.  Each of
+the plug-ins is a streaming kernel and may implement more than one function,
+in which case the control plane will specify the desired function by setting
+the dest field of the plugin input stream."
+
+Plugins are *compile-time* selections: a CCLO built without the reduction
+plugin cannot execute reduce (and saves the resources — the DLRM use case
+strips it from non-reducing nodes with a compilation flag, §6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.errors import CcloError
+
+_BINARY_FUNCTIONS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+
+_UNARY_FUNCTIONS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "identity": lambda a: a,
+    "negate": lambda a: -a,
+    # A toy "compression" codec: downcast to float16 and back; exercises the
+    # unary plugin path the paper mentions for compression/encryption.
+    "compress_fp16": lambda a: a.astype(np.float16).astype(a.dtype),
+    # The wire codec pair: fp32 payloads travel as fp16, halving wire bytes
+    # at the cost of precision (see FirmwareContext.send(codec="fp16")).
+    "to_fp16": lambda a: np.asarray(a).astype(np.float16),
+    "from_fp16": lambda a: np.asarray(a).astype(np.float32),
+}
+
+
+class PluginRegistry:
+    """The set of streaming operators compiled into one CCLO instance."""
+
+    def __init__(self, enabled: Iterable[str] = ("sum", "max", "min", "prod")):
+        self.enabled = tuple(enabled)
+        unknown = [
+            f for f in self.enabled
+            if f not in _BINARY_FUNCTIONS and f not in _UNARY_FUNCTIONS
+        ]
+        if unknown:
+            raise CcloError(f"unknown plugin functions: {unknown}")
+        self.invocations = 0
+
+    def has(self, func: str) -> bool:
+        return func in self.enabled
+
+    def apply_binary(self, func: str, a: Optional[np.ndarray],
+                     b: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        """Apply a binary operator to two in-flight streams.
+
+        Either operand may be ``None`` (timing-only simulation without a
+        functional payload); the result is then ``None`` too.
+        """
+        if func not in _BINARY_FUNCTIONS:
+            raise CcloError(f"{func!r} is not a binary plugin function")
+        if func not in self.enabled:
+            raise CcloError(
+                f"plugin {func!r} not compiled into this CCLO "
+                f"(enabled: {list(self.enabled)})"
+            )
+        self.invocations += 1
+        if a is None or b is None:
+            return None
+        return _BINARY_FUNCTIONS[func](a, b)
+
+    def apply_unary(self, func: str, a: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        if func not in _UNARY_FUNCTIONS:
+            raise CcloError(f"{func!r} is not a unary plugin function")
+        if func not in self.enabled:
+            raise CcloError(
+                f"plugin {func!r} not compiled into this CCLO "
+                f"(enabled: {list(self.enabled)})"
+            )
+        self.invocations += 1
+        if a is None:
+            return None
+        return _UNARY_FUNCTIONS[func](a)
+
+    @staticmethod
+    def known_functions() -> Dict[str, str]:
+        """Map of every implementable function to its arity."""
+        table = {name: "binary" for name in _BINARY_FUNCTIONS}
+        table.update({name: "unary" for name in _UNARY_FUNCTIONS})
+        return table
+
+    def __repr__(self) -> str:
+        return f"<PluginRegistry {list(self.enabled)}>"

@@ -1,0 +1,118 @@
+"""Rx Buffer Manager: temporary buffering for the eager protocol (§4.4.1).
+
+"Upon the notifications of incoming messages from the network, RBM retrieves
+a list of available Rx buffers from the configuration memory and then it
+issues memory requests to store the message in the selected Rx buffer...
+The RBM also stores relevant metadata (source ID, tag, Rx buffer address) to
+be used by the DMP."
+
+Pool capacity is finite: when no Rx space is available, inbound eager
+messages stall behind the pool (the hardware equivalent is transport-level
+back-pressure), which is the eager protocol's scalability hazard the
+rendezvous protocol exists to avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import CcloError
+from repro.memory.model import Memory
+from repro.sim import Environment, Event
+from repro.sim.resources import TokenBucket
+from repro.cclo.config_mem import CcloConfig
+from repro.cclo.match import MatchTable
+from repro.cclo.messages import Signature
+
+
+@dataclass
+class RxRecord:
+    """Metadata of one buffered eager message."""
+
+    signature: Signature
+    data: Any = None
+    released: bool = field(default=False, repr=False)
+
+    @property
+    def nbytes(self) -> int:
+        return self.signature.nbytes
+
+
+class RxBufManager:
+    """Allocates Rx buffers, reassembles messages, answers DMP queries."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: CcloConfig,
+        memory: Memory,
+        name: str = "rbm",
+    ):
+        self.env = env
+        self.config = config
+        self.memory = memory
+        self.name = name
+        # The pool itself is carved out of FPGA memory once, up front.
+        self._arena = memory.allocate(config.rx_pool_bytes)
+        self._space = TokenBucket(env, config.rx_pool_bytes, name=f"{name}.space")
+        self._slots = TokenBucket(env, config.rx_max_messages, name=f"{name}.slots")
+        self._arrivals = MatchTable(env, name=f"{name}.arrivals")
+        self.messages_buffered = 0
+        self.bytes_buffered = 0
+        self.high_watermark = 0
+
+    @property
+    def free_bytes(self) -> int:
+        return self._space.available
+
+    def handle_incoming(self, signature: Signature, data: Any) -> Event:
+        """Buffer an inbound eager message; fires when it is queryable."""
+        if signature.nbytes > self.config.rx_pool_bytes:
+            raise CcloError(
+                f"{self.name}: eager message of {signature.nbytes}B exceeds "
+                f"the whole Rx pool ({self.config.rx_pool_bytes}B); use the "
+                "rendezvous protocol for messages this large"
+            )
+        return self.env.process(
+            self._store(signature, data), name=f"{self.name}.store"
+        )
+
+    def _store(self, signature: Signature, data: Any):
+        reserve = max(1, signature.nbytes)
+        yield self._slots.take(1)
+        yield self._space.take(reserve)
+        # Stage the payload into the selected Rx buffer (memory write).
+        if signature.nbytes > 0:
+            yield self.memory.write(signature.nbytes)
+        record = RxRecord(signature=signature, data=data)
+        self.messages_buffered += 1
+        self.bytes_buffered += signature.nbytes
+        in_use = self.config.rx_pool_bytes - self._space.available
+        self.high_watermark = max(self.high_watermark, in_use)
+        self._arrivals.post(signature.match_key(), record)
+        return record
+
+    def await_message(self, comm_id: int, src_rank: int, tag: int) -> Event:
+        """DMP query: event yielding the matching :class:`RxRecord`."""
+        return self._arrivals.wait((comm_id, src_rank, tag))
+
+    def read_payload(self, record: RxRecord) -> Event:
+        """Charge the memory read that moves the payload out of the pool."""
+        if record.nbytes == 0:
+            return self.env.timeout(0.0)
+        return self.memory.read(record.nbytes)
+
+    def release(self, record: RxRecord) -> None:
+        """Return the record's buffer to the pool."""
+        if record.released:
+            raise CcloError(f"{self.name}: double release of Rx buffer")
+        record.released = True
+        self._space.give(max(1, record.nbytes))
+        self._slots.give(1)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RxBufManager {self.name!r} free={self.free_bytes}"
+            f"/{self.config.rx_pool_bytes}B>"
+        )

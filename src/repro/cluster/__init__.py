@@ -1,0 +1,6 @@
+"""Cluster construction: wire platforms, POEs, CCLOs and the fabric."""
+
+from repro.cluster.node import FpgaNode
+from repro.cluster.builder import FpgaCluster, build_fpga_cluster
+
+__all__ = ["FpgaNode", "FpgaCluster", "build_fpga_cluster"]

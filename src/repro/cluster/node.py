@@ -1,0 +1,28 @@
+"""One FPGA node: platform + POE + CCLO engine on a fabric endpoint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cclo.engine import CcloEngine
+from repro.network.endpoint import Endpoint
+from repro.platform.base import BasePlatform
+from repro.protocols.base import BasePoe
+
+
+@dataclass
+class FpgaNode:
+    """Composition record for one simulated FPGA card."""
+
+    rank: int
+    endpoint: Endpoint
+    platform: BasePlatform
+    poe: BasePoe
+    engine: CcloEngine
+
+    @property
+    def address(self) -> int:
+        return self.endpoint.address
+
+    def __repr__(self) -> str:
+        return f"<FpgaNode rank={self.rank} addr={self.address}>"

@@ -1,0 +1,20 @@
+"""Collective algorithms as uC firmware (§4.4.4).
+
+"Collectives are realized by specifying a communication pattern as a C
+function in uC firmware, and then executing this pattern through
+instructions in DMP and Tx/Rx System on each FPGA in the communicator."
+
+Each algorithm here is a generator taking ``(ctx, args)`` — the Python
+analogue of those C firmware functions.  :func:`install_default_firmware`
+loads the stock set into a registry; applications can register their own
+collectives at runtime, the paper's no-resynthesis extensibility claim
+(see ``examples/custom_collective.py``).
+
+Algorithm selection follows Table 1 and is runtime-tunable through
+:class:`~repro.cclo.config_mem.AlgorithmParams`.
+"""
+
+from repro.collectives.selector import AlgorithmSelector
+from repro.collectives.registry import install_default_firmware
+
+__all__ = ["AlgorithmSelector", "install_default_firmware"]

@@ -1,0 +1,34 @@
+"""Allgather firmware: ring.
+
+``args.nbytes`` per-rank block; every rank's ``rbuf`` holds ``size * nbytes``
+afterwards.  The ring moves one block per step for ``size - 1`` steps — full
+bisection use, no root bottleneck.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CollectiveError
+
+
+def fw_allgather_ring(ctx, args):
+    if args.sbuf is None or args.rbuf is None:
+        raise CollectiveError("allgather requires sbuf and rbuf")
+    yield ctx.cost()
+    size = ctx.size
+    nbytes = args.nbytes
+    rank = ctx.rank
+    next_rank = (rank + 1) % size
+    prev_rank = (rank - 1) % size
+
+    yield ctx.copy(args.sbuf, args.rbuf.view(rank * nbytes, nbytes), nbytes)
+    for step in range(size - 1):
+        send_idx = (rank - step) % size
+        recv_idx = (rank - step - 1) % size
+        tag = ctx.tag(step)
+        send_ev = ctx.send(next_rank,
+                           args.rbuf.view(send_idx * nbytes, nbytes),
+                           nbytes, tag)
+        recv_ev = ctx.recv(prev_rank,
+                           args.rbuf.view(recv_idx * nbytes, nbytes),
+                           nbytes, tag)
+        yield ctx.wait_all([send_ev, recv_ev])

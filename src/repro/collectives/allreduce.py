@@ -1,0 +1,91 @@
+"""Allreduce firmware: ring (reduce-scatter + allgather) and reduce+bcast."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import CollectiveError
+from repro.collectives.util import block_ranges
+from repro.collectives import bcast as _bcast
+from repro.collectives import reduce as _reduce
+
+
+def fw_allreduce_ring(ctx, args):
+    """Bandwidth-optimal ring: reduce-scatter then allgather.
+
+    Each rank moves ~2 * nbytes regardless of communicator size; the
+    workhorse for large messages.
+    """
+    if args.sbuf is None or args.rbuf is None:
+        raise CollectiveError("allreduce requires sbuf and rbuf")
+    yield ctx.cost()
+    size = ctx.size
+    rank = ctx.rank
+    next_rank = (rank + 1) % size
+    prev_rank = (rank - 1) % size
+    blocks = block_ranges(args.nbytes, size)
+
+    def block_view(idx):
+        offset, length = blocks[idx]
+        return args.rbuf.view(offset, length), length
+
+    # Accumulate in rbuf so sbuf stays intact.
+    yield ctx.copy(args.sbuf, args.rbuf, args.nbytes)
+
+    # Phase 1: reduce-scatter — after size-1 steps each rank owns the
+    # fully-reduced block (rank + 1) % size.
+    for step in range(size - 1):
+        send_view, send_len = block_view((rank - step) % size)
+        recv_view, recv_len = block_view((rank - step - 1) % size)
+        tag = ctx.tag(step)
+        pending = []
+        if send_len > 0:
+            pending.append(ctx.send(next_rank, send_view, send_len, tag))
+        if recv_len > 0:
+            pending.append(ctx.recv_reduce(prev_rank, recv_view, recv_len,
+                                           tag, args.func))
+        if pending:
+            yield ctx.wait_all(pending)
+
+    # Phase 2: allgather the reduced blocks around the ring.
+    for step in range(size - 1):
+        send_view, send_len = block_view((rank + 1 - step) % size)
+        recv_view, recv_len = block_view((rank - step) % size)
+        tag = ctx.tag(100 + step)
+        pending = []
+        if send_len > 0:
+            pending.append(ctx.send(next_rank, send_view, send_len, tag))
+        if recv_len > 0:
+            pending.append(ctx.recv(prev_rank, recv_view, recv_len, tag))
+        if pending:
+            yield ctx.wait_all(pending)
+
+
+def fw_allreduce_reduce_bcast(ctx, args):
+    """Latency-lean composition for small messages: reduce then bcast."""
+    if args.sbuf is None or args.rbuf is None:
+        raise CollectiveError("allreduce requires sbuf and rbuf")
+    yield ctx.cost()
+    params = ctx.uc.config_mem.params
+
+    reduce_args = dataclasses.replace(
+        args, opcode="reduce", tag=ctx.tag(0), from_stream=False,
+        to_stream=False,
+    )
+    if args.nbytes <= params.tree_threshold_bytes:
+        reduce_fw = _reduce.fw_reduce_all_to_one
+    else:
+        reduce_fw = _reduce.fw_reduce_binary_tree
+    sub_ctx = type(ctx)(ctx.uc, reduce_args)
+    yield ctx.env.process(reduce_fw(sub_ctx, reduce_args))
+
+    bcast_args = dataclasses.replace(
+        args, opcode="bcast", tag=ctx.tag(500), sbuf=None,
+        from_stream=False, to_stream=False,
+    )
+    if ctx.size <= params.bcast_one_to_all_max_ranks:
+        bcast_fw = _bcast.fw_bcast_one_to_all
+    else:
+        bcast_fw = _bcast.fw_bcast_recursive_doubling
+    sub_ctx = type(ctx)(ctx.uc, bcast_args)
+    yield ctx.env.process(bcast_fw(sub_ctx, bcast_args))

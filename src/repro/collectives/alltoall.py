@@ -1,0 +1,32 @@
+"""All-to-all firmware: linear (Table 1's only entry for this collective).
+
+Personalized exchange: rank r's block for rank d sits at ``sbuf[d]``; the
+block received from rank s lands at ``rbuf[s]``.  Transfers are issued
+concurrently (the isend/irecv + waitall shape), stride-staggered so every
+iteration pairs each sender with a distinct receiver.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CollectiveError
+
+
+def fw_alltoall_linear(ctx, args):
+    if args.sbuf is None or args.rbuf is None:
+        raise CollectiveError("alltoall requires sbuf and rbuf")
+    yield ctx.cost()
+    size = ctx.size
+    rank = ctx.rank
+    nbytes = args.nbytes
+
+    pending = [ctx.copy(args.sbuf.view(rank * nbytes, nbytes),
+                        args.rbuf.view(rank * nbytes, nbytes), nbytes)]
+    for stride in range(1, size):
+        dst = (rank + stride) % size
+        src = (rank - stride) % size
+        tag = ctx.tag(stride)
+        pending.append(ctx.send(dst, args.sbuf.view(dst * nbytes, nbytes),
+                                nbytes, tag))
+        pending.append(ctx.recv(src, args.rbuf.view(src * nbytes, nbytes),
+                                nbytes, tag))
+    yield ctx.wait_all(pending)

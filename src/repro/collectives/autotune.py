@@ -1,0 +1,143 @@
+"""Fine-grained algorithm auto-tuning (the paper's stated future work).
+
+§5: "While software MPI's approach involves detailed algorithmic tuning,
+ACCL+'s flexible design allows for potential future enhancements through
+additional fine-grained tuning to further optimize performance."
+
+This module implements that enhancement: :class:`CollectiveAutoTuner`
+measures every registered algorithm of a collective over a grid of
+(message size, communicator size) points on a scratch cluster, then emits a
+:class:`TunedSelector` whose decisions are per-point optimal — the software-
+MPI-style decision table, built empirically instead of hard-coded.  Because
+algorithm choice is a runtime parameter of the CCLO, the tuned table
+deploys without touching the engines.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import CollectiveError
+from repro.cclo.config_mem import AlgorithmParams, CommunicatorConfig
+from repro.cclo.microcontroller import CollectiveArgs
+from repro.collectives.selector import AlgorithmSelector
+
+
+@dataclass
+class TuningPoint:
+    """Measurements of every candidate algorithm at one grid point."""
+
+    nbytes: int
+    nranks: int
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def best(self) -> str:
+        if not self.timings:
+            raise CollectiveError("tuning point has no measurements")
+        return min(self.timings, key=self.timings.get)
+
+    def regret_of(self, algorithm: str) -> float:
+        """Fractional slowdown of *algorithm* vs the best at this point."""
+        best = self.timings[self.best]
+        return self.timings[algorithm] / best - 1.0
+
+
+class TunedSelector(AlgorithmSelector):
+    """Selector backed by an empirical decision table.
+
+    Lookups snap to the nearest measured grid point (log-scale in size,
+    exact-or-nearest in rank count); opcodes without a table fall back to
+    the stock Table 1 policy.
+    """
+
+    def __init__(self, tables: Dict[str, List[TuningPoint]]):
+        self._tables: Dict[str, Dict[int, List[TuningPoint]]] = {}
+        for opcode, points in tables.items():
+            by_ranks: Dict[int, List[TuningPoint]] = {}
+            for point in points:
+                by_ranks.setdefault(point.nranks, []).append(point)
+            for plist in by_ranks.values():
+                plist.sort(key=lambda p: p.nbytes)
+            self._tables[opcode] = by_ranks
+
+    def choose(self, args: CollectiveArgs, comm: CommunicatorConfig,
+               params: AlgorithmParams) -> str:
+        by_ranks = self._tables.get(args.opcode)
+        if not by_ranks:
+            return super().choose(args, comm, params)
+        ranks = min(by_ranks, key=lambda n: abs(n - comm.size))
+        points = by_ranks[ranks]
+        sizes = [p.nbytes for p in points]
+        idx = bisect.bisect_left(sizes, args.nbytes)
+        candidates = []
+        if idx < len(points):
+            candidates.append(points[idx])
+        if idx > 0:
+            candidates.append(points[idx - 1])
+        nearest = min(
+            candidates,
+            key=lambda p: abs(_log2(p.nbytes) - _log2(max(1, args.nbytes))),
+        )
+        return nearest.best
+
+
+def _log2(value: int) -> float:
+    import math
+
+    return math.log2(max(1, value))
+
+
+class CollectiveAutoTuner:
+    """Measures algorithms on scratch clusters and builds a TunedSelector."""
+
+    def __init__(
+        self,
+        measure: Callable[[str, str, int, int], float],
+        algorithms: Dict[str, Sequence[str]],
+    ):
+        """``measure(opcode, algorithm, nbytes, nranks) -> seconds``;
+        ``algorithms`` maps each opcode to its candidate algorithm names."""
+        self._measure = measure
+        self._algorithms = dict(algorithms)
+        self.tables: Dict[str, List[TuningPoint]] = {}
+
+    def tune(self, opcode: str, sizes: Sequence[int],
+             rank_counts: Sequence[int]) -> List[TuningPoint]:
+        """Measure the full grid for one collective."""
+        candidates = self._algorithms.get(opcode)
+        if not candidates:
+            raise CollectiveError(f"no candidate algorithms for {opcode!r}")
+        points = []
+        for nranks in rank_counts:
+            for nbytes in sizes:
+                point = TuningPoint(nbytes=nbytes, nranks=nranks)
+                for algorithm in candidates:
+                    point.timings[algorithm] = self._measure(
+                        opcode, algorithm, nbytes, nranks)
+                points.append(point)
+        self.tables.setdefault(opcode, []).extend(points)
+        return points
+
+    def build_selector(self) -> TunedSelector:
+        if not self.tables:
+            raise CollectiveError("tune() before building a selector")
+        return TunedSelector(self.tables)
+
+    def max_stock_regret(self, opcode: str,
+                         params: Optional[AlgorithmParams] = None) -> float:
+        """Worst-case regret of the stock Table 1 policy over the grid."""
+        params = params or AlgorithmParams()
+        stock = AlgorithmSelector()
+        worst = 0.0
+        for point in self.tables.get(opcode, []):
+            comm = CommunicatorConfig(
+                0, 0, list(range(point.nranks)), protocol="rdma")
+            pick = stock.choose(
+                CollectiveArgs(opcode=opcode, nbytes=point.nbytes),
+                comm, params)
+            if pick in point.timings:
+                worst = max(worst, point.regret_of(pick))
+        return worst

@@ -1,0 +1,26 @@
+"""Barrier firmware: dissemination algorithm.
+
+ceil(log2(P)) rounds of zero-byte eager messages; round k pairs rank r with
+ranks r +/- 2^k.  After the last round every rank has transitively heard
+from every other rank.
+"""
+
+from __future__ import annotations
+
+
+def fw_barrier_dissemination(ctx, args):
+    yield ctx.cost()
+    size = ctx.size
+    if size == 1:
+        return
+    distance = 1
+    round_no = 0
+    while distance < size:
+        to = (ctx.rank + distance) % size
+        frm = (ctx.rank - distance) % size
+        tag = ctx.tag(round_no)
+        send_ev = ctx.send(to, None, 0, tag, protocol="eager")
+        recv_ev = ctx.recv(frm, None, 0, tag, protocol="eager")
+        yield ctx.wait_all([send_ev, recv_ev])
+        distance <<= 1
+        round_no += 1

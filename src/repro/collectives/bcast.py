@@ -1,0 +1,124 @@
+"""Broadcast firmware: one-to-all and recursive doubling (Table 1).
+
+The broadcast buffer is ``args.rbuf`` on every rank (MPI convention: the
+root reads it, everyone else receives into it).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CollectiveError
+
+
+def _bcast_buffer(ctx, args):
+    buf = args.rbuf if args.rbuf is not None else args.sbuf
+    if buf is None:
+        raise CollectiveError("bcast requires a buffer")
+    return buf
+
+
+def fw_bcast_one_to_all(ctx, args):
+    """Root sends to every other rank directly.
+
+    Simple and handshake-free — the eager default, and the rendezvous
+    choice at small rank counts where the root's uplink is not yet the
+    bottleneck.
+    """
+    buf = _bcast_buffer(ctx, args)
+    yield ctx.cost()
+    if ctx.rank == args.root:
+        pending = [
+            ctx.send(dst, buf, args.nbytes, ctx.tag(0))
+            for dst in range(ctx.size)
+            if dst != args.root
+        ]
+        if pending:
+            yield ctx.wait_all(pending)
+    else:
+        yield ctx.recv(args.root, buf, args.nbytes, ctx.tag(0))
+
+
+def fw_bcast_recursive_doubling(ctx, args):
+    """Binomial-tree dissemination: log2(P) rounds, root never bottlenecked.
+
+    Chosen in rendezvous mode at larger rank counts "such that the data
+    transmission is not bottlenecked at the root rank" (§4.4.4).
+    """
+    buf = _bcast_buffer(ctx, args)
+    yield ctx.cost()
+    size = ctx.size
+    relative = (ctx.rank - args.root) % size
+
+    # Phase 1: wait for the block from the parent.  The root never breaks
+    # out, leaving mask at the first power of two >= size, which is exactly
+    # where its send schedule starts.
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            parent = (relative - mask + args.root) % size
+            yield ctx.recv(parent, buf, args.nbytes, ctx.tag(0))
+            break
+        mask <<= 1
+
+    # Phase 2: forward to children at decreasing strides.  Sends go out
+    # *sequentially*, largest subtree first: the uplink serializes the bytes
+    # anyway, and interleaving the copies would delay the deepest subtree's
+    # head start — the whole point of the descending-mask order.
+    mask >>= 1
+    while mask > 0:
+        if relative + mask < size:
+            child = (relative + mask + args.root) % size
+            yield ctx.send(child, buf, args.nbytes, ctx.tag(0))
+        mask >>= 1
+
+
+def fw_bcast_scatter_allgather(ctx, args):
+    """Bandwidth-optimal large-message broadcast (van de Geijn).
+
+    The root scatters message blocks, then a ring allgather circulates them:
+    every rank moves ~2 * nbytes total instead of the tree's log(P) * nbytes
+    at the root.  Not part of the Table 1 default policy — it is the kind of
+    algorithm the runtime-tunable selector (or the auto-tuner) can enable at
+    large sizes, closing the gap to software MPI's finest tables.
+    """
+    from repro.collectives.util import block_ranges
+
+    buf = _bcast_buffer(ctx, args)
+    yield ctx.cost()
+    size = ctx.size
+    if size == 1:
+        return
+    blocks = block_ranges(args.nbytes, size)
+
+    def block_view(q):
+        offset, length = blocks[q]
+        return buf.view(offset, length), length
+
+    relative = (ctx.rank - args.root) % size
+
+    # Phase 1: the root scatters block q to relative rank q (linear; the
+    # scatter is a 1/P share of the traffic, so its shape barely matters).
+    if relative == 0:
+        for q in range(1, size):
+            view, length = block_view(q)
+            if length:
+                yield ctx.send((args.root + q) % size, view, length,
+                               ctx.tag(q))
+    else:
+        view, length = block_view(relative)
+        if length:
+            yield ctx.recv(args.root, view, length, ctx.tag(relative))
+
+    # Phase 2: ring allgather of the blocks.
+    next_rank = (ctx.rank + 1) % size
+    prev_rank = (ctx.rank - 1) % size
+    for step in range(size - 1):
+        send_view, send_len = block_view((relative - step) % size)
+        recv_view, recv_len = block_view((relative - step - 1) % size)
+        tag = ctx.tag(100 + step)
+        pending = []
+        if send_len:
+            pending.append(ctx.send(next_rank, send_view, send_len, tag))
+        if recv_len:
+            pending.append(ctx.recv(prev_rank, recv_view, recv_len, tag))
+        if pending:
+            yield ctx.wait_all(pending)

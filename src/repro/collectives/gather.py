@@ -1,0 +1,149 @@
+"""Gather firmware: all-to-one, ring (chain), binomial tree (Table 1).
+
+``args.nbytes`` is the per-rank block size; rank r's block ends up at byte
+offset ``r * nbytes`` of the root's ``rbuf``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CollectiveError
+from repro.collectives.util import scratch_with_dtype
+
+
+def _check(ctx, args):
+    if ctx.rank == args.root and args.rbuf is None:
+        raise CollectiveError("gather root requires rbuf")
+    if args.sbuf is None:
+        raise CollectiveError("gather requires sbuf on every rank")
+
+
+def fw_gather_all_to_one(ctx, args):
+    """Every rank sends its block straight to the root."""
+    _check(ctx, args)
+    yield ctx.cost()
+    tag = ctx.tag(0)
+    nbytes = args.nbytes
+    if ctx.rank != args.root:
+        yield ctx.send(args.root, args.sbuf, nbytes, tag)
+        return
+    pending = [ctx.copy(args.sbuf, args.rbuf.view(args.root * nbytes, nbytes),
+                        nbytes)]
+    # Receives land in disjoint rbuf blocks, so they may overlap freely.
+    for src in range(ctx.size):
+        if src == args.root:
+            continue
+        dest = args.rbuf.view(src * nbytes, nbytes)
+        pending.append(ctx.recv(src, dest, nbytes, tag))
+    yield ctx.wait_all(pending)
+
+
+def fw_gather_ring(ctx, args):
+    """Chain gather: blocks relay toward the root, growing at every hop.
+
+    One neighbor link per rank (the eager-mode choice), at the cost of
+    moving O(P) blocks over the last hop.
+    """
+    _check(ctx, args)
+    yield ctx.cost()
+    size = ctx.size
+    nbytes = args.nbytes
+    position = (ctx.rank - args.root) % size
+    tag = ctx.tag(0)
+
+    if position == size - 1:
+        # End of the chain: only my own block moves.
+        downstream = (ctx.rank - 1) % size
+        yield ctx.send(downstream, args.sbuf, nbytes, tag)
+        return
+
+    blocks_from_upstream = size - 1 - position
+    if position == 0:
+        # Root: own block into place, then the chain's aggregate.
+        own = ctx.copy(args.sbuf, args.rbuf.view(args.root * nbytes, nbytes),
+                       nbytes)
+        scratch = scratch_with_dtype(
+            ctx.engine, blocks_from_upstream * nbytes, args.sbuf
+        )
+        try:
+            upstream = (ctx.rank + 1) % size
+            yield ctx.recv(upstream, scratch.view(),
+                           blocks_from_upstream * nbytes, tag)
+            # Unpack relative blocks 1..size-1 into rank-indexed slots.
+            unpacks = []
+            for q in range(1, size):
+                rank_q = (args.root + q) % size
+                unpacks.append(ctx.copy(
+                    scratch.view((q - 1) * nbytes, nbytes),
+                    args.rbuf.view(rank_q * nbytes, nbytes),
+                    nbytes,
+                ))
+            unpacks.append(own)
+            yield ctx.wait_all(unpacks)
+        finally:
+            ctx.engine.scratch_free(scratch)
+        return
+
+    # Middle of the chain: prepend my block to everything from upstream.
+    scratch = scratch_with_dtype(
+        ctx.engine, (blocks_from_upstream + 1) * nbytes, args.sbuf
+    )
+    try:
+        own = ctx.copy(args.sbuf, scratch.view(0, nbytes), nbytes)
+        upstream = (ctx.rank + 1) % size
+        yield ctx.recv(upstream, scratch.view(nbytes),
+                       blocks_from_upstream * nbytes, tag)
+        yield own
+        downstream = (ctx.rank - 1) % size
+        yield ctx.send(downstream, scratch.view(),
+                       (blocks_from_upstream + 1) * nbytes, tag)
+    finally:
+        ctx.engine.scratch_free(scratch)
+
+
+def fw_gather_binary_tree(ctx, args):
+    """Binomial-tree gather (rendezvous, large blocks): log2(P) levels.
+
+    Subtrees aggregate in relative-rank order and forward upward; the root
+    finally unpacks relative order into rank order.
+    """
+    _check(ctx, args)
+    yield ctx.cost()
+    size = ctx.size
+    nbytes = args.nbytes
+    relative = (ctx.rank - args.root) % size
+    tag = ctx.tag(0)
+
+    # Aggregation buffer ordered by relative rank; my block sits at 0.
+    held = scratch_with_dtype(ctx.engine, size * nbytes, args.sbuf)
+    try:
+        yield ctx.copy(args.sbuf, held.view(0, nbytes), nbytes)
+        my_blocks = 1
+        mask = 1
+        while mask < size:
+            if relative & mask:
+                parent = ((relative - mask) + args.root) % size
+                yield ctx.send(parent, held.view(0, my_blocks * nbytes),
+                               my_blocks * nbytes, tag)
+                break
+            child_rel = relative | mask
+            if child_rel < size:
+                child = (child_rel + args.root) % size
+                child_blocks = min(mask, size - child_rel)
+                yield ctx.recv(child,
+                               held.view(mask * nbytes, child_blocks * nbytes),
+                               child_blocks * nbytes, tag)
+                my_blocks = mask + child_blocks
+            mask <<= 1
+
+        if relative == 0:
+            unpacks = []
+            for q in range(size):
+                rank_q = (args.root + q) % size
+                unpacks.append(ctx.copy(
+                    held.view(q * nbytes, nbytes),
+                    args.rbuf.view(rank_q * nbytes, nbytes),
+                    nbytes,
+                ))
+            yield ctx.wait_all(unpacks)
+    finally:
+        ctx.engine.scratch_free(held)

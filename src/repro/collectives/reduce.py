@@ -1,0 +1,170 @@
+"""Reduce firmware: ring, all-to-one, and binary (binomial) tree (Table 1).
+
+Conventions: ``args.sbuf`` is each rank's contribution (or the kernel stream
+when ``from_stream``); ``args.rbuf`` receives the result at the root (or the
+stream when ``to_stream``).  The reduction operator is ``args.func``.
+
+All intermediate accumulation happens in FPGA device memory — the paper's
+"ACCL+ utilizes FPGA memory for all intermediate reduction data structures"
+— so a host-resident result buffer is touched exactly twice over PCIe (one
+read of the contribution, one write of the final result), never per fold.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CollectiveError
+from repro.collectives.util import stage_contribution
+from repro.platform.base import BufferLocation
+
+
+def _finish_root(ctx, args, acc_view):
+    """Deliver the final accumulation to rbuf or the kernel stream."""
+    if args.to_stream:
+        yield ctx.memory_to_stream(acc_view, args.nbytes)
+    elif args.rbuf is not None:
+        yield ctx.copy(acc_view, args.rbuf, args.nbytes)
+    else:
+        raise CollectiveError("reduce root requires rbuf or to_stream")
+
+
+def fw_reduce_all_to_one(ctx, args):
+    """Everyone sends to the root; the root folds arrivals sequentially.
+
+    Minimal hop count — best at small sizes; at large sizes the root's
+    downlink in-cast makes the tree preferable (§4.4.4, Fig 12).  Receives
+    are pre-posted in parallel into per-source Rx scratch (so rendezvous
+    handshakes overlap); only the folds themselves serialize.
+    """
+    yield ctx.cost()
+    tag = ctx.tag(0)
+    if ctx.rank != args.root:
+        source = None if args.from_stream else args.sbuf
+        yield ctx.send(args.root, source, args.nbytes, tag)
+        return
+
+    sources = [src for src in range(ctx.size) if src != args.root]
+    eager = ctx.protocol_for(args.nbytes) == "eager"
+    # Accumulate directly in a device-resident result buffer; otherwise in
+    # scratch with one final copy out.
+    acc_is_rbuf = (
+        args.rbuf is not None
+        and args.rbuf.buffer.location is BufferLocation.DEVICE
+        and not args.to_stream
+    )
+    acc = args.rbuf.buffer if acc_is_rbuf else ctx.engine.scratch_alloc(
+        args.nbytes)
+    acc_view = args.rbuf if acc_is_rbuf else acc.view()
+    # A root invoked without sbuf/stream contributes nothing (the DLRM
+    # reduction root, §6.1): the first arrival then lands straight in acc.
+    has_contribution = args.from_stream or args.sbuf is not None
+    staged = None
+    slots = {}
+    if not eager:
+        slots = {src: ctx.engine.scratch_alloc(args.nbytes)
+                 for src in sources}
+    try:
+        if has_contribution:
+            contribution, staged = yield from stage_contribution(ctx, args)
+            yield ctx.copy(contribution, acc_view, args.nbytes)
+        elif sources:
+            first = sources.pop(0)
+            yield ctx.recv(first, acc_view, args.nbytes, tag)
+        if eager:
+            # Arrivals buffer in the RBM regardless, so the fused
+            # network->plugin->memory microcode folds each contribution in a
+            # single datapath pass.
+            for src in sources:
+                yield ctx.recv_reduce(src, acc_view, args.nbytes, tag,
+                                      args.func)
+        else:
+            # Rendezvous: pre-post all receives so the handshakes overlap;
+            # fold from the landing slots as each WRITE completes.
+            arrivals = {
+                src: ctx.recv(src, slots[src].view(), args.nbytes, tag)
+                for src in sources
+            }
+            for src in sources:
+                yield arrivals[src]
+                yield ctx.reduce_local(args.func, slots[src].view(),
+                                       acc_view, acc_view, args.nbytes)
+        if not acc_is_rbuf:
+            yield from _finish_root(ctx, args, acc_view)
+    finally:
+        if staged is not None:
+            ctx.engine.scratch_free(staged)
+        for slot in slots.values():
+            ctx.engine.scratch_free(slot)
+        if not acc_is_rbuf:
+            ctx.engine.scratch_free(acc)
+
+
+def fw_reduce_ring(ctx, args):
+    """Chain reduction around the ring ending at the root (eager default).
+
+    Rank at chain position p receives the running partial from position
+    p-1, folds its own contribution, and forwards; the root terminates the
+    chain.  One message per rank, no in-cast, but latency grows linearly
+    with the communicator size.
+    """
+    yield ctx.cost()
+    size = ctx.size
+    position = (ctx.rank - args.root - 1) % size  # root sits at size-1
+    next_rank = (ctx.rank + 1) % size
+    prev_rank = (ctx.rank - 1) % size
+    tag = ctx.tag(0)
+
+    if position == 0:
+        source = None if args.from_stream else args.sbuf
+        yield ctx.send(next_rank, source, args.nbytes, tag)
+        return
+
+    contribution, staged = yield from stage_contribution(ctx, args)
+    acc = ctx.engine.scratch_alloc(args.nbytes)
+    try:
+        yield ctx.copy(contribution, acc.view(), args.nbytes)
+        yield ctx.recv_reduce(prev_rank, acc.view(), args.nbytes, tag,
+                              args.func)
+        if position == size - 1:  # the root terminates the chain
+            yield from _finish_root(ctx, args, acc.view())
+        else:
+            yield ctx.send(next_rank, acc.view(), args.nbytes, tag)
+    finally:
+        if staged is not None:
+            ctx.engine.scratch_free(staged)
+        ctx.engine.scratch_free(acc)
+
+
+def fw_reduce_binary_tree(ctx, args):
+    """Binomial-tree reduction toward the root (rendezvous, large messages).
+
+    log2(P) levels; each parent folds children before forwarding upward, so
+    no link ever carries more than one message per level — this is what
+    avoids the all-to-one in-cast at 128 KiB in Figure 12.
+    """
+    yield ctx.cost()
+    size = ctx.size
+    relative = (ctx.rank - args.root) % size
+    tag = ctx.tag(0)
+
+    contribution, staged = yield from stage_contribution(ctx, args)
+    acc = ctx.engine.scratch_alloc(args.nbytes)
+    try:
+        yield ctx.copy(contribution, acc.view(), args.nbytes)
+        mask = 1
+        while mask < size:
+            if relative & mask:
+                parent = (relative - mask + args.root) % size
+                yield ctx.send(parent, acc.view(), args.nbytes, tag)
+                break
+            child_rel = relative | mask
+            if child_rel < size:
+                child = (child_rel + args.root) % size
+                yield ctx.recv_reduce(child, acc.view(), args.nbytes, tag,
+                                      args.func)
+            mask <<= 1
+        if relative == 0:
+            yield from _finish_root(ctx, args, acc.view())
+    finally:
+        if staged is not None:
+            ctx.engine.scratch_free(staged)
+        ctx.engine.scratch_free(acc)

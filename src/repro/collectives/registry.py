@@ -1,0 +1,61 @@
+"""Stock firmware load-out for a freshly built CCLO."""
+
+from __future__ import annotations
+
+from repro.cclo.microcontroller import FirmwareRegistry
+from repro.collectives.allgather import fw_allgather_ring
+from repro.collectives.allreduce import (
+    fw_allreduce_reduce_bcast,
+    fw_allreduce_ring,
+)
+from repro.collectives.alltoall import fw_alltoall_linear
+from repro.collectives.barrier import fw_barrier_dissemination
+from repro.collectives.bcast import (
+    fw_bcast_one_to_all,
+    fw_bcast_recursive_doubling,
+    fw_bcast_scatter_allgather,
+)
+from repro.collectives.gather import (
+    fw_gather_all_to_one,
+    fw_gather_binary_tree,
+    fw_gather_ring,
+)
+from repro.collectives.reduce import (
+    fw_reduce_all_to_one,
+    fw_reduce_binary_tree,
+    fw_reduce_ring,
+)
+from repro.collectives.scatter import (
+    fw_scatter_binary_tree,
+    fw_scatter_linear,
+)
+from repro.collectives.sendrecv import fw_recv, fw_send
+
+
+def install_default_firmware(registry: FirmwareRegistry) -> FirmwareRegistry:
+    """Load every stock collective into *registry* (Table 1 plus barriers).
+
+    Applications extend the same registry at runtime to deploy new
+    collectives without "re-synthesizing" the engine.
+    """
+    registry.register("send", "direct", fw_send)
+    registry.register("recv", "direct", fw_recv)
+    registry.register("bcast", "one_to_all", fw_bcast_one_to_all)
+    registry.register("bcast", "recursive_doubling",
+                      fw_bcast_recursive_doubling)
+    registry.register("bcast", "scatter_allgather",
+                      fw_bcast_scatter_allgather)
+    registry.register("reduce", "ring", fw_reduce_ring)
+    registry.register("reduce", "all_to_one", fw_reduce_all_to_one)
+    registry.register("reduce", "binary_tree", fw_reduce_binary_tree)
+    registry.register("gather", "ring", fw_gather_ring)
+    registry.register("gather", "all_to_one", fw_gather_all_to_one)
+    registry.register("gather", "binary_tree", fw_gather_binary_tree)
+    registry.register("scatter", "linear", fw_scatter_linear)
+    registry.register("scatter", "binary_tree", fw_scatter_binary_tree)
+    registry.register("allgather", "ring", fw_allgather_ring)
+    registry.register("allreduce", "ring", fw_allreduce_ring)
+    registry.register("allreduce", "reduce_bcast", fw_allreduce_reduce_bcast)
+    registry.register("alltoall", "linear", fw_alltoall_linear)
+    registry.register("barrier", "dissemination", fw_barrier_dissemination)
+    return registry

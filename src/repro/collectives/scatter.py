@@ -1,0 +1,86 @@
+"""Scatter firmware: linear and binomial tree.
+
+``args.nbytes`` is the per-rank block; the root's ``sbuf`` holds
+``size * nbytes`` and each rank's ``rbuf`` receives its own block.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CollectiveError
+from repro.collectives.util import scratch_with_dtype
+
+
+def _check(ctx, args):
+    if ctx.rank == args.root and args.sbuf is None:
+        raise CollectiveError("scatter root requires sbuf")
+    if args.rbuf is None:
+        raise CollectiveError("scatter requires rbuf on every rank")
+
+
+def fw_scatter_linear(ctx, args):
+    """Root sends every rank its block directly."""
+    _check(ctx, args)
+    yield ctx.cost()
+    tag = ctx.tag(0)
+    nbytes = args.nbytes
+    if ctx.rank != args.root:
+        yield ctx.recv(args.root, args.rbuf, nbytes, tag)
+        return
+    pending = [ctx.copy(args.sbuf.view(args.root * nbytes, nbytes), args.rbuf,
+                        nbytes)]
+    for dst in range(ctx.size):
+        if dst == args.root:
+            continue
+        pending.append(
+            ctx.send(dst, args.sbuf.view(dst * nbytes, nbytes), nbytes, tag)
+        )
+    yield ctx.wait_all(pending)
+
+
+def fw_scatter_binary_tree(ctx, args):
+    """Binomial-tree scatter: halves of the block set fan down the tree."""
+    _check(ctx, args)
+    yield ctx.cost()
+    size = ctx.size
+    nbytes = args.nbytes
+    relative = (ctx.rank - args.root) % size
+    tag = ctx.tag(0)
+
+    # Staging buffer in relative order covering exactly my subtree's blocks.
+    if relative == 0:
+        my_blocks = size
+        recv_mask = 1
+        while recv_mask < size:
+            recv_mask <<= 1
+        held = scratch_with_dtype(ctx.engine, size * nbytes, args.sbuf)
+        packs = [
+            ctx.copy(args.sbuf.view(((args.root + q) % size) * nbytes, nbytes),
+                     held.view(q * nbytes, nbytes), nbytes)
+            for q in range(size)
+        ]
+        yield ctx.wait_all(packs)
+    else:
+        recv_mask = relative & -relative  # lowest set bit = subtree stride
+        my_blocks = min(recv_mask, size - relative)
+        held = ctx.engine.scratch_alloc(my_blocks * nbytes)
+        parent = ((relative - recv_mask) + args.root) % size
+        # Whole-buffer receive so the scratch materializes functionally.
+        yield ctx.recv(parent, held.view(), my_blocks * nbytes, tag)
+
+    try:
+        # Fan the upper halves down to children, sequentially with the
+        # largest subtree first (see the bcast firmware for why).
+        mask = recv_mask >> 1
+        while mask > 0:
+            child_rel = relative + mask
+            if child_rel < size and mask < my_blocks:
+                child = (child_rel + args.root) % size
+                child_blocks = min(mask, my_blocks - mask)
+                yield ctx.send(
+                    child, held.view(mask * nbytes, child_blocks * nbytes),
+                    child_blocks * nbytes, tag,
+                )
+            mask >>= 1
+        yield ctx.copy(held.view(0, nbytes), args.rbuf, nbytes)
+    finally:
+        ctx.engine.scratch_free(held)

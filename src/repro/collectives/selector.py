@@ -1,0 +1,66 @@
+"""Algorithm selection policy: the runtime-tunable Table 1.
+
+| Collective | Eager      | Rendezvous                      |
+|------------|------------|---------------------------------|
+| Bcast      | One-to-all | One-to-all; Recursive doubling  |
+| Reduce     | Ring       | All-to-one; Binary tree         |
+| Gather     | Ring       | All-to-one; Binary tree         |
+| All-to-all | Linear     | Linear                          |
+
+ACCL+'s selection is deliberately coarse (two thresholds) compared to
+software MPI's fine-grained tables — the gap the paper discusses around
+Figure 12.  Thresholds live in :class:`AlgorithmParams` and are settable at
+runtime via the config memory.
+"""
+
+from __future__ import annotations
+
+from repro.cclo.config_mem import AlgorithmParams, CommunicatorConfig
+from repro.cclo.microcontroller import CollectiveArgs
+from repro.errors import CollectiveError
+
+
+class AlgorithmSelector:
+    """Chooses the firmware algorithm for a collective invocation."""
+
+    def uses_rendezvous(self, args: CollectiveArgs, comm: CommunicatorConfig,
+                        params: AlgorithmParams) -> bool:
+        """Whether this collective runs in rendezvous mode."""
+        if comm.protocol != "rdma":
+            return False  # rendezvous needs the RDMA WRITE verb
+        if args.protocol is not None:
+            return args.protocol == "rndz"
+        return args.nbytes > params.eager_max_bytes
+
+    def choose(self, args: CollectiveArgs, comm: CommunicatorConfig,
+               params: AlgorithmParams) -> str:
+        opcode = args.opcode
+        rndz = self.uses_rendezvous(args, comm, params)
+
+        if opcode in ("send", "recv"):
+            return "direct"
+        if opcode == "bcast":
+            if not rndz:
+                return "one_to_all"
+            if comm.size <= params.bcast_one_to_all_max_ranks:
+                return "one_to_all"
+            return "recursive_doubling"
+        if opcode in ("reduce", "gather"):
+            if not rndz:
+                return "ring"
+            if args.nbytes <= params.tree_threshold_bytes:
+                return "all_to_one"
+            return "binary_tree"
+        if opcode == "scatter":
+            return "linear"
+        if opcode == "allgather":
+            return "ring"
+        if opcode == "allreduce":
+            if rndz and args.nbytes <= params.tree_threshold_bytes:
+                return "reduce_bcast"
+            return "ring"
+        if opcode == "alltoall":
+            return "linear"
+        if opcode == "barrier":
+            return "dissemination"
+        raise CollectiveError(f"no selection policy for opcode {opcode!r}")

@@ -1,0 +1,25 @@
+"""Point-to-point firmware: send and recv."""
+
+from __future__ import annotations
+
+from repro.errors import CollectiveError
+
+
+def fw_send(ctx, args):
+    """Send ``nbytes`` to ``args.peer`` from a buffer or the kernel stream."""
+    if args.peer < 0:
+        raise CollectiveError("send requires a peer rank")
+    yield ctx.cost()
+    source = None if args.from_stream else args.sbuf
+    yield ctx.send(args.peer, source, args.nbytes, ctx.tag(0),
+                   codec=args.extra.get("codec"))
+
+
+def fw_recv(ctx, args):
+    """Receive ``nbytes`` from ``args.peer`` into a buffer or the stream."""
+    if args.peer < 0:
+        raise CollectiveError("recv requires a peer rank")
+    yield ctx.cost()
+    dest = None if args.to_stream else args.rbuf
+    yield ctx.recv(args.peer, dest, args.nbytes, ctx.tag(0),
+                   codec=args.extra.get("codec"))

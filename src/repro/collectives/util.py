@@ -1,0 +1,60 @@
+"""Shared firmware helpers: block partitioning and staging."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import CollectiveError
+
+DATAPATH_ALIGN = 64
+"""Chunk boundaries align to the 64 B datapath word."""
+
+
+def block_ranges(total: int, parts: int,
+                 align: int = DATAPATH_ALIGN) -> List[Tuple[int, int]]:
+    """Split ``total`` bytes into ``parts`` aligned ``(offset, length)`` blocks.
+
+    All blocks except the last are multiples of *align*; tiny totals produce
+    leading zero-length blocks (harmless: zero-byte messages are legal).
+    """
+    if parts <= 0:
+        raise CollectiveError(f"cannot split into {parts} blocks")
+    if total < 0:
+        raise CollectiveError(f"negative total: {total}")
+    base = (total // parts) // align * align
+    ranges = []
+    offset = 0
+    for i in range(parts):
+        length = base if i < parts - 1 else total - offset
+        ranges.append((offset, length))
+        offset += length
+    return ranges
+
+
+def scratch_with_dtype(engine, nbytes: int, like_view=None):
+    """Allocate scratch carrying a typed array when the reference has one."""
+    buf = engine.scratch_alloc(nbytes)
+    ref = None if like_view is None else like_view.array
+    if ref is not None and nbytes % ref.itemsize == 0:
+        buf.array = np.zeros(nbytes // ref.itemsize, dtype=ref.dtype)
+    return buf
+
+
+def stage_contribution(ctx, args):
+    """Firmware helper (generator): materialize this rank's contribution.
+
+    Returns ``(view, scratch_buffer_or_None)``; when the contribution comes
+    from the kernel stream it is staged into scratch first (collective
+    algorithms need random access to it).  Caller frees the scratch.
+    """
+    if not args.from_stream:
+        if args.sbuf is None:
+            raise CollectiveError(
+                f"{args.opcode}: no source buffer and no stream flag"
+            )
+        return args.sbuf, None
+    scratch = ctx.engine.scratch_alloc(args.nbytes)
+    yield ctx.stream_to_memory(scratch.view(), args.nbytes)
+    return scratch.view(), scratch

@@ -1,0 +1,21 @@
+"""Host-side CCL driver (§4.1).
+
+:class:`Accl` is the platform- and protocol-agnostic host driver: it owns
+buffer allocation (through the platform's BaseBuffer specialization), POE
+initialization, staging on partitioned-memory platforms, and exposes the
+MPI-like collective API of Listing 1.  :class:`KernelInterface` is the HLS
+driver analogue of Listing 2 for FPGA-resident kernels.
+"""
+
+from repro.driver.request import CclRequest
+from repro.driver.communicator import Communicator
+from repro.driver.api import Accl, attach_drivers
+from repro.driver.streaming import KernelInterface
+
+__all__ = [
+    "Accl",
+    "CclRequest",
+    "Communicator",
+    "KernelInterface",
+    "attach_drivers",
+]

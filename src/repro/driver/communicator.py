@@ -1,0 +1,59 @@
+"""Host-side communicator handle.
+
+Construction performs the driver's POE-initialization duty: "setting up
+sessions or queue-pairs" (§4.1) — queue pairs are exchanged out of band and
+registered with the POE, a one-time control-plane cost charged here.
+"""
+
+from __future__ import annotations
+
+from repro.cclo.config_mem import CommunicatorConfig
+from repro import units
+
+#: Collective tags start above this; user point-to-point tags stay below.
+COLLECTIVE_TAG_BASE = 1 << 20
+#: Tag budget per collective invocation (phases/steps within it).
+TAG_STRIDE = 1 << 10
+
+#: Out-of-band exchange cost per remote peer during setup (sockets + MMIO).
+PEER_SETUP_COST = units.us(150)
+
+
+class Communicator:
+    """A host view over one CCLO communicator."""
+
+    def __init__(self, config: CommunicatorConfig):
+        self.config = config
+        self._next_collective_tag = COLLECTIVE_TAG_BASE
+
+    @property
+    def comm_id(self) -> int:
+        return self.config.comm_id
+
+    @property
+    def rank(self) -> int:
+        return self.config.local_rank
+
+    @property
+    def size(self) -> int:
+        return self.config.size
+
+    def next_tag(self) -> int:
+        """Reserve a tag window for one collective invocation.
+
+        Every rank calls collectives on a communicator in the same order
+        (MPI semantics), so independent drivers hand out matching windows.
+        """
+        tag = self._next_collective_tag
+        self._next_collective_tag += TAG_STRIDE
+        return tag
+
+    def setup_cost(self) -> float:
+        """One-time session/QP exchange cost for this rank."""
+        return PEER_SETUP_COST * (self.size - 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Communicator id={self.comm_id} rank={self.rank}/{self.size} "
+            f"{self.config.protocol}>"
+        )

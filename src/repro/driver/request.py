@@ -1,0 +1,61 @@
+"""CclRequest: the handle returned by every collective call (Listing 1)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim import Environment, Event
+
+
+class CclRequest:
+    """Future for an in-flight collective.
+
+    Two consumption styles:
+
+    - host test/benchmark code (outside the simulation): ``request.wait()``
+      advances the simulation until completion and returns the value;
+    - simulation processes (CPU models, kernels): ``yield request.event``.
+    """
+
+    def __init__(self, env: Environment, event: Event, opcode: str):
+        self.env = env
+        self.event = event
+        self.opcode = opcode
+        self.issued_at = env.now
+        self.completed_at: float = float("nan")
+        if event.processed:
+            self.completed_at = env.now
+        else:
+            event.add_callback(self._record_completion)
+
+    def _record_completion(self, _event: Event) -> None:
+        self.completed_at = self.env.now
+
+    @property
+    def done(self) -> bool:
+        return self.event.triggered
+
+    @property
+    def ok(self) -> bool:
+        return self.event.triggered and self.event.ok
+
+    def wait(self) -> Any:
+        """Drive the simulation to completion of this request."""
+        if not self.event.processed:
+            # Even a triggered event still needs its scheduled callbacks to
+            # run (and simulation time to advance to its firing point).
+            return self.env.run(until=self.event)
+        if not self.event.ok:
+            raise self.event.value
+        return self.event.value
+
+    @property
+    def duration(self) -> float:
+        """Seconds from issue to completion (only once done)."""
+        if not self.event.triggered:
+            raise RuntimeError(f"request {self.opcode!r} still in flight")
+        return self.completed_at - self.issued_at
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return f"<CclRequest {self.opcode} {state}>"

@@ -1,0 +1,84 @@
+"""The HLS kernel driver: streaming collective interface (Listing 2).
+
+.. code-block:: python
+
+    cclo = KernelInterface(engine)               # Command + Data setup
+    cclo.send(nbytes, dst_rank)                  # streaming send command
+    for chunk in chunks:
+        yield from cclo.push(chunk)              # 64 B/cycle stream pushes
+    yield from cclo.finalize()                   # wait for CCLO completion
+
+All generator methods are used with ``yield from`` inside simulation
+processes — the analogue of synthesizable HLS code running on the fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.errors import CcloError
+from repro.cclo.engine import CcloEngine
+from repro.cclo.microcontroller import CollectiveArgs
+from repro.sim import Event
+
+
+class KernelInterface:
+    """Command + data interface of one FPGA kernel to its local CCLO."""
+
+    def __init__(self, engine: CcloEngine, comm_id: int = 0):
+        self.engine = engine
+        self.env = engine.env
+        self.comm_id = comm_id
+        self._pending: List[Event] = []
+
+    # -- command path (cclo_hls::Command) ------------------------------------
+
+    def _issue(self, args: CollectiveArgs):
+        """Kernel-side invocation: FIFO write latency, then the command."""
+        yield self.engine.platform.invoke_from_kernel()
+        self._pending.append(self.engine.call(args))
+
+    def send(self, nbytes: int, dst_rank: int, tag: int = 0):
+        """Streaming send: data comes from subsequent :meth:`push` calls."""
+        yield from self._issue(CollectiveArgs(
+            opcode="send", comm_id=self.comm_id, nbytes=nbytes, peer=dst_rank,
+            tag=tag, from_stream=True,
+        ))
+
+    def recv(self, nbytes: int, src_rank: int, tag: int = 0):
+        """Streaming recv: data arrives through :meth:`pull`."""
+        yield from self._issue(CollectiveArgs(
+            opcode="recv", comm_id=self.comm_id, nbytes=nbytes, peer=src_rank,
+            tag=tag, to_stream=True,
+        ))
+
+    def reduce(self, nbytes: int, root: int, func: str = "sum",
+               to_stream: bool = False, rbuf=None, tag: int = 0,
+               algorithm: Optional[str] = None):
+        """Streaming reduce: this kernel's contribution comes from pushes."""
+        yield from self._issue(CollectiveArgs(
+            opcode="reduce", comm_id=self.comm_id, nbytes=nbytes, root=root,
+            tag=tag, func=func, from_stream=True, to_stream=to_stream,
+            rbuf=rbuf, algorithm=algorithm,
+        ))
+
+    # -- data path (cclo_hls::Data) ----------------------------------------------
+
+    def push(self, chunk: Any, nbytes: Optional[int] = None):
+        """Push one chunk into the CCLO stream (blocking on back-pressure)."""
+        if nbytes is None:
+            if not hasattr(chunk, "nbytes"):
+                raise CcloError("push needs an array chunk or explicit nbytes")
+            nbytes = chunk.nbytes
+        yield self.engine.kernel_data_in.put((nbytes, chunk))
+
+    def pull(self):
+        """Pull the next chunk from the CCLO stream; returns (nbytes, data)."""
+        item = yield self.engine.kernel_data_out.get()
+        return item
+
+    def finalize(self):
+        """Wait for every issued command to complete (cclo.finalize())."""
+        pending, self._pending = self._pending, []
+        for ev in pending:
+            yield ev

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the ACCL+ reproduction.
+
+Every layer raises a subclass of :class:`ReproError` so applications can
+catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid component configuration (bad sizes, unknown protocol...)."""
+
+
+class NetworkError(ReproError):
+    """Fabric-level failure (unknown destination, oversized frame...)."""
+
+
+class ProtocolError(ReproError):
+    """POE-level failure (no session, QP mismatch, retransmit exhausted)."""
+
+
+class PlatformError(ReproError):
+    """Platform/driver failure (unmapped buffer, staging on wrong platform)."""
+
+
+class CcloError(ReproError):
+    """CCLO engine failure (unknown opcode, firmware fault)."""
+
+
+class CollectiveError(ReproError):
+    """Collective-level failure (mismatched communicator, bad root rank)."""

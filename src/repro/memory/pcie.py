@@ -1,0 +1,80 @@
+"""PCIe Gen3 x16 model: DMA pipes plus MMIO register access.
+
+Three costs matter for the paper's results:
+
+- bulk DMA bandwidth (~13 GB/s effective) — staging cost on Vitis, unified
+  memory cost on Coyote, and the F2F baseline's FPGA->CPU->FPGA detour;
+- DMA setup latency (~0.9 us);
+- MMIO register read/write (~0.9 us each) — a Coyote CCLO invocation is one
+  posted write plus one read (Fig 8).
+"""
+
+from __future__ import annotations
+
+from repro.sim import BandwidthResource, Environment, Event
+from repro import units
+
+
+class PcieLink:
+    """Duplex host<->device PCIe connection."""
+
+    #: effective bulk bandwidth per direction (Gen3 x16 after framing)
+    DEFAULT_BANDWIDTH = 13e9
+    #: DMA descriptor setup + completion latency
+    DEFAULT_DMA_LATENCY = units.ns(900)
+    #: one MMIO register access (posted write or non-posted read)
+    DEFAULT_MMIO_LATENCY = units.us(0.9)
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+        dma_latency: float = DEFAULT_DMA_LATENCY,
+        mmio_latency: float = DEFAULT_MMIO_LATENCY,
+        name: str = "pcie",
+    ):
+        self.env = env
+        self.dma_latency = dma_latency
+        self.mmio_latency = mmio_latency
+        self.name = name
+        self._h2d = BandwidthResource(env, bandwidth, name=f"{name}.h2d")
+        self._d2h = BandwidthResource(env, bandwidth, name=f"{name}.d2h")
+
+    @property
+    def bytes_h2d(self) -> int:
+        return self._h2d.bytes_moved
+
+    @property
+    def bytes_d2h(self) -> int:
+        return self._d2h.bytes_moved
+
+    def _dma(self, pipe: BandwidthResource, nbytes: int) -> Event:
+        if nbytes < 0:
+            raise ValueError(f"negative DMA size: {nbytes}")
+        done = pipe.reserve(nbytes) + self.dma_latency
+        return self.env.timeout(done - self.env.now, value=nbytes)
+
+    def dma_h2d(self, nbytes: int) -> Event:
+        """Host -> device DMA; event fires at completion."""
+        return self._dma(self._h2d, nbytes)
+
+    def dma_d2h(self, nbytes: int) -> Event:
+        """Device -> host DMA; event fires at completion."""
+        return self._dma(self._d2h, nbytes)
+
+    def dma_time(self, nbytes: int, direction: str = "h2d") -> float:
+        """Analytic one-shot DMA duration on an idle link."""
+        return self.dma_latency + nbytes / (
+            self._h2d.rate if direction == "h2d" else self._d2h.rate
+        )
+
+    def mmio_write(self) -> Event:
+        """Posted register write from the host."""
+        return self.env.timeout(self.mmio_latency)
+
+    def mmio_read(self) -> Event:
+        """Non-posted register read (round trip)."""
+        return self.env.timeout(self.mmio_latency)
+
+    def __repr__(self) -> str:
+        return f"<PcieLink {self.name!r} {self._h2d.rate / 1e9:.0f} GB/s>"

@@ -1,0 +1,65 @@
+"""Network endpoint: the attachment point of an FPGA port or commodity NIC.
+
+An :class:`Endpoint` owns the uplink toward the switch and receives segments
+from its downlink.  Protocol engines register themselves as the receive
+handler; transmit paces segments through the uplink's serializer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import NetworkError
+from repro.sim import Environment
+from repro.network.link import Link
+from repro.network.packet import Segment
+
+
+class Endpoint:
+    """One fabric port with an address, an uplink and a downlink."""
+
+    def __init__(self, env: Environment, address: int, name: str = ""):
+        self.env = env
+        self.address = address
+        self.name = name or f"ep{address}"
+        self.uplink: Optional[Link] = None
+        self._rx_handler: Optional[Callable[[Segment], None]] = None
+        self.segments_sent = 0
+        self.segments_received = 0
+
+    def attach_uplink(self, link: Link) -> None:
+        if self.uplink is not None:
+            raise NetworkError(f"endpoint {self.name!r} already has an uplink")
+        self.uplink = link
+
+    def on_receive(self, handler: Callable[[Segment], None]) -> None:
+        """Install the protocol engine's receive handler."""
+        if self._rx_handler is not None:
+            raise NetworkError(
+                f"endpoint {self.name!r} already has a receive handler"
+            )
+        self._rx_handler = handler
+
+    def deliver(self, segment: Segment) -> None:
+        """Sink for the downlink; invoked by the fabric."""
+        if self._rx_handler is None:
+            raise NetworkError(
+                f"endpoint {self.name!r} received a segment but has no handler"
+            )
+        self.segments_received += 1
+        self._rx_handler(segment)
+
+    def send(self, segment: Segment) -> float:
+        """Transmit a segment; returns serialization-complete time."""
+        if self.uplink is None:
+            raise NetworkError(f"endpoint {self.name!r} has no uplink")
+        if segment.src != self.address:
+            raise NetworkError(
+                f"endpoint {self.name!r} (addr {self.address}) asked to send "
+                f"a segment with src={segment.src}"
+            )
+        self.segments_sent += 1
+        return self.uplink.send(segment)
+
+    def __repr__(self) -> str:
+        return f"<Endpoint {self.name!r} addr={self.address}>"

@@ -1,0 +1,89 @@
+"""Point-to-point link: serialization + propagation.
+
+A :class:`Link` is unidirectional; duplex connections are two links.  The
+transmitter serializes segments at the link rate (FIFO — this is where egress
+contention and in-cast congestion appear) and the receiver sees the segment
+after an additional fixed propagation/PHY latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import NetworkError
+from repro.sim import BandwidthResource, Environment
+from repro.network.packet import Segment
+from repro import units
+
+
+class Link:
+    """Unidirectional serializing link.
+
+    Args:
+        env: simulation environment.
+        rate: bytes/second (default 100 Gb/s).
+        latency: propagation + PHY/MAC latency in seconds.
+        name: for tracing.
+    """
+
+    #: Largest segment a link accepts.  The fabric is store-and-forward at
+    #: segment granularity, so bounding segments bounds the per-hop
+    #: pipelining error; protocol engines segment larger messages.
+    MAX_SEGMENT_BYTES = 256 * units.KIB
+
+    def __init__(
+        self,
+        env: Environment,
+        rate: float = units.gbps(100),
+        latency: float = units.ns(500),
+        name: str = "link",
+    ):
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        self.env = env
+        self.rate = rate
+        self.latency = latency
+        self.name = name
+        self._pipe = BandwidthResource(env, rate, name=f"{name}.pipe")
+        self._sink: Optional[Callable[[Segment], None]] = None
+        self.segments_carried = 0
+
+    def connect(self, sink: Callable[[Segment], None]) -> None:
+        """Attach the receiving side; exactly one sink per link."""
+        if self._sink is not None:
+            raise NetworkError(f"link {self.name!r} already has a sink")
+        self._sink = sink
+
+    @property
+    def bytes_carried(self) -> int:
+        return self._pipe.bytes_moved
+
+    def utilization(self, since: float = 0.0) -> float:
+        return self._pipe.utilization(since)
+
+    def send(self, segment: Segment) -> float:
+        """Enqueue *segment* for transmission.
+
+        Returns the simulation time at which the last byte leaves the
+        transmitter (useful for senders that pace subsequent segments).
+        Delivery to the sink happens ``latency`` later.
+        """
+        if self._sink is None:
+            raise NetworkError(f"link {self.name!r} has no sink connected")
+        if segment.payload_bytes > self.MAX_SEGMENT_BYTES:
+            raise NetworkError(
+                f"segment of {segment.payload_bytes}B exceeds the "
+                f"{self.MAX_SEGMENT_BYTES}B link segment bound; "
+                "protocol engines must segment large messages"
+            )
+        egress_done = self._pipe.reserve(segment.wire_bytes)
+        self.segments_carried += 1
+        deliver_at = egress_done + self.latency
+        sink = self._sink
+        self.env.schedule_callback(
+            deliver_at - self.env.now, lambda: sink(segment)
+        )
+        return egress_done
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name!r} {units.to_gbps(self.rate):.0f} Gb/s>"

@@ -1,0 +1,72 @@
+"""Output-queued switch model (Cisco Nexus class).
+
+Forwarding is cut-through with a fixed port-to-port latency; contention shows
+up on the egress :class:`~repro.network.link.Link` of the destination port,
+which is exactly where in-cast congestion (the paper's motivation for
+tree-based reduce/gather at large sizes) materializes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import NetworkError
+from repro.sim import Environment
+from repro.network.link import Link
+from repro.network.packet import Segment
+from repro import units
+
+
+class Switch:
+    """A single-stage switch: address -> egress link table."""
+
+    def __init__(
+        self,
+        env: Environment,
+        forwarding_latency: float = units.ns(600),
+        name: str = "switch",
+    ):
+        self.env = env
+        self.forwarding_latency = forwarding_latency
+        self.name = name
+        self._egress: Dict[int, Link] = {}
+        self._default_routes: list = []
+        self.segments_forwarded = 0
+
+    @property
+    def port_count(self) -> int:
+        return len(self._egress)
+
+    def attach(self, address: int, egress: Link) -> None:
+        """Register the egress link toward endpoint *address*."""
+        if address in self._egress:
+            raise NetworkError(
+                f"switch {self.name!r}: address {address} already attached"
+            )
+        self._egress[address] = egress
+
+    def add_default_route(self, egress: Link) -> None:
+        """Register an uplink used for addresses with no local entry.
+
+        Multiple default routes load-balance ECMP-style on a (src, dst)
+        flow hash, keeping one flow's segments in order.
+        """
+        self._default_routes.append(egress)
+
+    def ingress(self, segment: Segment) -> None:
+        """Entry point wired as the sink of every endpoint's uplink."""
+        egress = self._egress.get(segment.dst)
+        if egress is None and self._default_routes:
+            flow = hash((segment.src, segment.dst))
+            egress = self._default_routes[flow % len(self._default_routes)]
+        if egress is None:
+            raise NetworkError(
+                f"switch {self.name!r}: no route to address {segment.dst}"
+            )
+        self.segments_forwarded += 1
+        self.env.schedule_callback(
+            self.forwarding_latency, lambda: egress.send(segment)
+        )
+
+    def __repr__(self) -> str:
+        return f"<Switch {self.name!r} ports={self.port_count}>"

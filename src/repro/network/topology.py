@@ -1,0 +1,172 @@
+"""Cluster topologies.
+
+The evaluation cluster (§5) connects every CPU NIC and every FPGA Ethernet
+port to Cisco Nexus switches — a star from the traffic-pattern point of
+view.  :class:`StarTopology` builds that: N endpoints, one switch, duplex
+100 Gb/s links.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import NetworkError
+from repro.sim import Environment
+from repro.network.endpoint import Endpoint
+from repro.network.link import Link
+from repro.network.switch import Switch
+from repro import units
+
+
+class StarTopology:
+    """All endpoints hang off one switch with duplex links.
+
+    Args:
+        env: simulation environment.
+        link_rate: bytes/second per direction (default 100 Gb/s).
+        link_latency: one-way cable+PHY latency.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        link_rate: float = units.gbps(100),
+        link_latency: float = units.ns(500),
+        name: str = "fabric",
+    ):
+        self.env = env
+        self.link_rate = link_rate
+        self.link_latency = link_latency
+        self.name = name
+        self.switch = Switch(env, name=f"{name}.sw")
+        self._endpoints: Dict[int, Endpoint] = {}
+
+    @property
+    def endpoints(self) -> List[Endpoint]:
+        return [self._endpoints[a] for a in sorted(self._endpoints)]
+
+    def endpoint(self, address: int) -> Endpoint:
+        try:
+            return self._endpoints[address]
+        except KeyError:
+            raise NetworkError(f"no endpoint with address {address}") from None
+
+    def add_endpoint(self, address: int, name: str = "") -> Endpoint:
+        """Create an endpoint and wire duplex links to the switch."""
+        if address in self._endpoints:
+            raise NetworkError(f"address {address} already in topology")
+        ep = Endpoint(self.env, address, name=name)
+        uplink = Link(
+            self.env, self.link_rate, self.link_latency, name=f"{ep.name}.up"
+        )
+        downlink = Link(
+            self.env, self.link_rate, self.link_latency, name=f"{ep.name}.down"
+        )
+        uplink.connect(self.switch.ingress)
+        downlink.connect(ep.deliver)
+        ep.attach_uplink(uplink)
+        self.switch.attach(address, downlink)
+        self._endpoints[address] = ep
+        return ep
+
+    def one_way_base_latency(self) -> float:
+        """Zero-byte one-way fabric latency: two links + switch forwarding."""
+        return 2 * self.link_latency + self.switch.forwarding_latency
+
+    def __repr__(self) -> str:
+        return f"<StarTopology {self.name!r} n={len(self._endpoints)}>"
+
+
+class LeafSpineTopology:
+    """Two-tier Clos fabric: endpoints on leaf switches, leaves meshed
+    through spine switches.
+
+    Intra-leaf traffic crosses one switch; cross-leaf traffic crosses
+    leaf -> spine -> leaf, ECMP-balanced over the spines on a flow hash.
+    This is the data-center-scale integration story of §1: collectives run
+    over the same packet-switched infrastructure CPUs use, not dedicated
+    FPGA-to-FPGA links.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        ports_per_leaf: int = 4,
+        n_spines: int = 2,
+        link_rate: float = units.gbps(100),
+        link_latency: float = units.ns(500),
+        name: str = "clos",
+    ):
+        if ports_per_leaf < 1 or n_spines < 1:
+            raise NetworkError("need at least one leaf port and one spine")
+        self.env = env
+        self.ports_per_leaf = ports_per_leaf
+        self.n_spines = n_spines
+        self.link_rate = link_rate
+        self.link_latency = link_latency
+        self.name = name
+        self._endpoints: Dict[int, Endpoint] = {}
+        self._leaves: List[Switch] = []
+        self._spines: List[Switch] = [
+            Switch(env, name=f"{name}.spine{i}") for i in range(n_spines)
+        ]
+
+    @property
+    def endpoints(self) -> List[Endpoint]:
+        return [self._endpoints[a] for a in sorted(self._endpoints)]
+
+    def endpoint(self, address: int) -> Endpoint:
+        try:
+            return self._endpoints[address]
+        except KeyError:
+            raise NetworkError(f"no endpoint with address {address}") from None
+
+    def leaf_of(self, address: int) -> int:
+        return address // self.ports_per_leaf
+
+    def _link(self, name: str) -> Link:
+        return Link(self.env, self.link_rate, self.link_latency, name=name)
+
+    def _grow_leaves(self, leaf_idx: int) -> None:
+        while len(self._leaves) <= leaf_idx:
+            idx = len(self._leaves)
+            leaf = Switch(self.env, name=f"{self.name}.leaf{idx}")
+            # Full bipartite leaf<->spine wiring.
+            for s, spine in enumerate(self._spines):
+                up = self._link(f"{leaf.name}.up{s}")
+                down = self._link(f"{spine.name}.down{idx}")
+                up.connect(spine.ingress)
+                down.connect(leaf.ingress)
+                leaf.add_default_route(up)
+                # The spine routes every address of this leaf down to it.
+                for port in range(self.ports_per_leaf):
+                    spine.attach(idx * self.ports_per_leaf + port, down)
+            self._leaves.append(leaf)
+
+    def add_endpoint(self, address: int, name: str = "") -> Endpoint:
+        if address in self._endpoints:
+            raise NetworkError(f"address {address} already in topology")
+        leaf_idx = self.leaf_of(address)
+        self._grow_leaves(leaf_idx)
+        leaf = self._leaves[leaf_idx]
+        ep = Endpoint(self.env, address, name=name)
+        uplink = self._link(f"{ep.name}.up")
+        downlink = self._link(f"{ep.name}.down")
+        uplink.connect(leaf.ingress)
+        downlink.connect(ep.deliver)
+        ep.attach_uplink(uplink)
+        leaf.attach(address, downlink)
+        self._endpoints[address] = ep
+        return ep
+
+    def one_way_base_latency(self, cross_leaf: bool = True) -> float:
+        hops = 4 if cross_leaf else 2
+        switches = 3 if cross_leaf else 1
+        forwarding = self._spines[0].forwarding_latency
+        return hops * self.link_latency + switches * forwarding
+
+    def __repr__(self) -> str:
+        return (
+            f"<LeafSpineTopology {self.name!r} leaves={len(self._leaves)} "
+            f"spines={self.n_spines} n={len(self._endpoints)}>"
+        )

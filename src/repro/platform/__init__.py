@@ -1,0 +1,32 @@
+"""FPGA development platforms (§4.2).
+
+A platform defines how buffers are allocated and moved and how the CCLO is
+invoked.  The driver layers generic :class:`BaseBuffer` / :class:`BasePlatform`
+types which are specialized here:
+
+- :class:`CoyotePlatform` -- shared virtual memory: a TLB translates CCLO
+  accesses to host or device memory; no staging; ~2.3 us host invocation.
+- :class:`VitisPlatform` -- partitioned memory (XRT): host buffers must be
+  *staged* through XDMA before/after collectives; ~80 us host invocation.
+- :class:`SimPlatform` -- the functional-simulation platform (the paper's
+  ZMQ-based flow): zero hardware latencies, for debugging and development.
+"""
+
+from repro.platform.base import BaseBuffer, BasePlatform, BufferLocation, BufferView
+from repro.platform.coyote import CoyoteBuffer, CoyotePlatform, Tlb
+from repro.platform.vitis import VitisBuffer, VitisPlatform
+from repro.platform.simplatform import SimBuffer, SimPlatform
+
+__all__ = [
+    "BaseBuffer",
+    "BasePlatform",
+    "BufferLocation",
+    "BufferView",
+    "CoyoteBuffer",
+    "CoyotePlatform",
+    "Tlb",
+    "VitisBuffer",
+    "VitisPlatform",
+    "SimBuffer",
+    "SimPlatform",
+]

@@ -1,0 +1,232 @@
+"""Common POE machinery: message headers, segmentation, reassembly.
+
+A *message* is the unit the CCLO deals in; the wire deals in *segments*.
+:class:`BasePoe` owns the split/merge: the transmit path cuts a message into
+``segment_bytes`` chunks and paces them through the endpoint (subject to the
+subclass's flow control), and the receive path counts segment arrivals per
+message id, handing the completed message to the registered handler.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ProtocolError
+from repro.network.endpoint import Endpoint
+from repro.network.packet import Segment
+from repro.sim import Environment, Event
+from repro import units
+
+
+@dataclass
+class MessageHeader:
+    """Transport-level message descriptor (not the ACCL+ signature).
+
+    The ACCL+ lightweight protocol header (rank ids, tag, sequence number —
+    §4.4.2) rides inside ``meta``; this descriptor is what the POE itself
+    needs to move bytes.
+    """
+
+    msg_id: int
+    src_addr: int
+    dst_addr: int
+    nbytes: int
+    kind: str = "send"  # "send" | "write" | "datagram"
+    session: int = 0
+    meta: Any = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<MessageHeader #{self.msg_id} {self.kind} "
+            f"{self.src_addr}->{self.dst_addr} {self.nbytes}B>"
+        )
+
+
+class DeferredPayload:
+    """Functional payload of a cut-through streaming send.
+
+    The POE starts transmitting before the sending kernel has produced all
+    the data; the value is filled in by the producer before the last byte
+    leaves, and resolved by the receive side at delivery time.
+    """
+
+    _UNSET = object()
+
+    def __init__(self):
+        self._value: Any = self._UNSET
+
+    def set(self, value: Any) -> None:
+        self._value = value
+
+    def get(self) -> Any:
+        if self._value is self._UNSET:
+            raise ProtocolError(
+                "deferred payload delivered before the producer finished "
+                "(cut-through pacing violated)"
+            )
+        return self._value
+
+    @staticmethod
+    def resolve(data: Any) -> Any:
+        return data.get() if isinstance(data, DeferredPayload) else data
+
+
+@dataclass
+class _Reassembly:
+    header: MessageHeader
+    bytes_seen: int = 0
+    data: Any = None
+
+
+class BasePoe:
+    """Shared transmit/receive plumbing for all protocol engines.
+
+    Subclasses set class attributes (``protocol_name``, ``mtu``,
+    ``poe_latency``) and may override hooks:
+
+    - :meth:`_tx_flow_control` -- yield before each segment (window/credits).
+    - :meth:`_on_segment_delivered` -- receive-side accounting (acks).
+    - :meth:`_deliver` -- how a completed message reaches the consumer.
+    """
+
+    protocol_name = "raw"
+    #: wire MTU used for header-overhead accounting
+    mtu = 1500
+    #: segmentation quantum (bounded by the link's segment cap)
+    segment_bytes = 32 * units.KIB
+    #: fixed pipeline latency through the POE per message, seconds
+    poe_latency = units.ns(300)
+
+    def __init__(self, env: Environment, endpoint: Endpoint, name: str = ""):
+        self.env = env
+        self.endpoint = endpoint
+        self.name = name or f"{self.protocol_name}@{endpoint.address}"
+        self._msg_ids = itertools.count(1)
+        self._handler: Optional[Callable[[MessageHeader, Any], None]] = None
+        self._rx_state: Dict[tuple, _Reassembly] = {}
+        self.messages_sent = 0
+        self.messages_received = 0
+        endpoint.on_receive(self._on_segment)
+
+    @property
+    def address(self) -> int:
+        return self.endpoint.address
+
+    def on_message(self, handler: Callable[[MessageHeader, Any], None]) -> None:
+        """Register the consumer for completed inbound messages."""
+        if self._handler is not None:
+            raise ProtocolError(f"{self.name}: message handler already set")
+        self._handler = handler
+
+    # -- transmit path ----------------------------------------------------
+
+    def send_message(
+        self,
+        dst_addr: int,
+        nbytes: int,
+        meta: Any = None,
+        data: Any = None,
+        kind: str = "send",
+        session: int = 0,
+        pace: Any = None,
+    ) -> Event:
+        """Transmit a message; the event fires when the last byte has been
+        handed to the wire (local completion).
+
+        ``pace`` (a byte TokenBucket) throttles segmentation to a producer
+        that is still generating the data — the cut-through streaming path.
+        """
+        if nbytes < 0:
+            raise ProtocolError(f"negative message size: {nbytes}")
+        header = MessageHeader(
+            msg_id=next(self._msg_ids),
+            src_addr=self.address,
+            dst_addr=dst_addr,
+            nbytes=nbytes,
+            kind=kind,
+            session=session,
+            meta=meta,
+        )
+        self.messages_sent += 1
+        return self.env.process(
+            self._tx_process(header, data, pace),
+            name=f"{self.name}.tx{header.msg_id}",
+        )
+
+    def _tx_process(self, header: MessageHeader, data: Any, pace: Any = None):
+        yield self.env.timeout(self.poe_latency)
+        remaining = header.nbytes
+        seqno = 0
+        sent_any = False
+        while remaining > 0 or not sent_any:
+            chunk = min(remaining, self.segment_bytes) if remaining else 0
+            if pace is not None and chunk > 0:
+                yield pace.take(chunk)
+            yield from self._tx_flow_control(header, chunk)
+            segment = Segment(
+                src=self.address,
+                dst=header.dst_addr,
+                payload_bytes=chunk,
+                protocol=self.protocol_name,
+                meta=header,
+                data=data if seqno == 0 else None,
+                mtu=self.mtu,
+                seqno=seqno,
+            )
+            egress_done = self.endpoint.send(segment)
+            yield from self._tx_post_segment(header, segment)
+            remaining -= chunk
+            seqno += 1
+            sent_any = True
+            if remaining > 0:
+                # Pace the next segment to the serializer: prevents flooding
+                # the heap, keeps FIFO fairness between concurrent messages.
+                yield self.env.timeout(max(0.0, egress_done - self.env.now))
+        return header
+
+    def _tx_flow_control(self, header: MessageHeader, chunk: int):
+        """Subclass hook: yield until *chunk* bytes may enter the wire."""
+        return
+        yield  # pragma: no cover — makes this a generator
+
+    def _tx_post_segment(self, header: MessageHeader, segment: Segment):
+        """Subclass hook: per-segment bookkeeping (e.g. retx buffering)."""
+        return
+        yield  # pragma: no cover
+
+    # -- receive path ------------------------------------------------------
+
+    def _on_segment(self, segment: Segment) -> None:
+        header: MessageHeader = segment.meta
+        key = (header.src_addr, header.msg_id)
+        state = self._rx_state.get(key)
+        if state is None:
+            state = _Reassembly(header=header)
+            self._rx_state[key] = state
+        state.bytes_seen += segment.payload_bytes
+        if segment.data is not None:
+            state.data = segment.data
+        self._on_segment_delivered(segment)
+        if state.bytes_seen >= header.nbytes:
+            del self._rx_state[key]
+            self.messages_received += 1
+            self.env.schedule_callback(
+                self.poe_latency,
+                lambda: self._deliver(header,
+                                      DeferredPayload.resolve(state.data)),
+            )
+
+    def _on_segment_delivered(self, segment: Segment) -> None:
+        """Subclass hook: receive-side per-segment work (acks/credits)."""
+
+    def _deliver(self, header: MessageHeader, data: Any) -> None:
+        if self._handler is None:
+            raise ProtocolError(
+                f"{self.name}: inbound message but no handler registered"
+            )
+        self._handler(header, data)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

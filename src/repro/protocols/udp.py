@@ -1,0 +1,45 @@
+"""UDP protocol offload engine (VNx-style, §4.3).
+
+Connectionless and unreliable: no sessions, no flow control, no
+retransmission state.  The simulated fabric does not drop packets, so UDP
+here is functionally lossless (the paper's firmware likewise "uses simple
+algorithms like ring and one-to-all to minimize the chances of packet loss"
+rather than recovering from it).  An optional drop hook lets failure-injection
+tests exercise loss.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.network.packet import Segment
+from repro.protocols.base import BasePoe, MessageHeader
+from repro import units
+
+
+class UdpPoe(BasePoe):
+    """Datagram engine: messages go straight to the wire."""
+
+    protocol_name = "udp"
+    mtu = 1500
+    poe_latency = units.ns(250)
+
+    def __init__(self, env, endpoint, name: str = ""):
+        super().__init__(env, endpoint, name)
+        self._drop_filter: Optional[Callable[[Segment], bool]] = None
+        self.segments_dropped = 0
+
+    def set_drop_filter(self, predicate: Callable[[Segment], bool]) -> None:
+        """Failure injection: drop inbound segments for which *predicate* is
+        true.  Dropped datagrams are silently lost, as on real UDP."""
+        self._drop_filter = predicate
+
+    def _on_segment(self, segment: Segment) -> None:
+        if self._drop_filter is not None and self._drop_filter(segment):
+            self.segments_dropped += 1
+            # Drop the whole reassembly: a datagram with a missing fragment
+            # never completes.
+            header: MessageHeader = segment.meta
+            self._rx_state.pop((header.src_addr, header.msg_id), None)
+            return
+        super()._on_segment(segment)

@@ -1,0 +1,19 @@
+"""FPGA resource-utilization model (Table 3)."""
+
+from repro.resources.model import (
+    ResourceVector,
+    U55C_TOTALS,
+    cclo_utilization,
+    dlrm_fc_utilization,
+    poe_utilization,
+    utilization_table,
+)
+
+__all__ = [
+    "ResourceVector",
+    "U55C_TOTALS",
+    "cclo_utilization",
+    "poe_utilization",
+    "dlrm_fc_utilization",
+    "utilization_table",
+]

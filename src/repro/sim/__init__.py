@@ -1,0 +1,46 @@
+"""Discrete-event simulation kernel.
+
+A compact, dependency-free engine in the style of SimPy.  Processes are
+generator coroutines that yield *events*; the :class:`~repro.sim.kernel.Environment`
+advances virtual time along an event heap.
+
+Public surface:
+
+- :class:`Environment`, :class:`Event`, :class:`Timeout`, :class:`Process`,
+  :class:`Interrupt` -- the kernel (:mod:`repro.sim.kernel`).
+- :func:`all_of`, :func:`any_of` -- event combinators.
+- :class:`Channel` -- latency-insensitive FIFO stream (AXI-Stream analogue).
+- :class:`BandwidthResource` -- serializing byte-pipe (link/memory-port model).
+- :class:`Resource` -- counted resource with FIFO queueing.
+- :class:`Monitor` -- time-series sample recorder with summary statistics.
+"""
+
+from repro.sim.kernel import (
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+    all_of,
+    any_of,
+)
+from repro.sim.channel import Channel, ChannelClosed
+from repro.sim.resources import BandwidthResource, Resource
+from repro.sim.monitor import Monitor
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "all_of",
+    "any_of",
+    "Channel",
+    "ChannelClosed",
+    "BandwidthResource",
+    "Resource",
+    "Monitor",
+]

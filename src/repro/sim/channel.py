@@ -1,0 +1,125 @@
+"""Latency-insensitive FIFO channels — the AXI-Stream analogue.
+
+Hardware blocks in ACCL+ talk through AXI-Stream interfaces with ready/valid
+handshakes.  :class:`Channel` models that: a bounded FIFO whose ``put`` blocks
+when full (back-pressure) and whose ``get`` blocks when empty.  Channels carry
+arbitrary Python items (command words, message descriptors, data segments).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.kernel import Environment, Event
+
+
+class ChannelClosed(Exception):
+    """Raised to getters when a channel is closed and drained."""
+
+
+class Channel:
+    """Bounded FIFO with blocking put/get, usable from processes via yield.
+
+    ``capacity=None`` means unbounded (useful for command queues where the
+    paper notes "FIFO queues are incorporated into all command paths").
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: Optional[int] = None,
+        name: str = "channel",
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item: Any) -> Event:
+        """Return an event that succeeds once *item* is accepted by the FIFO."""
+        if self._closed:
+            raise ChannelClosed(f"put on closed channel {self.name!r}")
+        ev = Event(self.env)
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed()
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the FIFO is full."""
+        if self._closed:
+            raise ChannelClosed(f"put on closed channel {self.name!r}")
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            return True
+        return False
+
+    def get(self) -> Event:
+        """Return an event that succeeds with the next item."""
+        ev = Event(self.env)
+        if self._items:
+            item = self._items.popleft()
+            ev.succeed(item)
+            self._admit_putter()
+        elif self._closed:
+            ev.fail(ChannelClosed(f"get on closed channel {self.name!r}"))
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple:
+        """Non-blocking get; returns ``(ok, item)``."""
+        if self._items:
+            item = self._items.popleft()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def peek(self) -> Any:
+        """Look at the head item without removing it (None when empty)."""
+        return self._items[0] if self._items else None
+
+    def close(self) -> None:
+        """Close the channel; pending and future gets fail with ChannelClosed."""
+        if self._closed:
+            return
+        self._closed = True
+        while self._getters:
+            self._getters.popleft().fail(
+                ChannelClosed(f"channel {self.name!r} closed")
+            )
+
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            ev, item = self._putters.popleft()
+            self._items.append(item)
+            ev.succeed()
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else self.capacity
+        return f"<Channel {self.name!r} {len(self._items)}/{cap}>"

@@ -1,0 +1,383 @@
+"""The discrete-event kernel: environment, events, processes.
+
+The design follows SimPy's proven model closely enough that anyone familiar
+with SimPy can read the rest of the codebase, but it is written from scratch
+and trimmed to what the ACCL+ simulation needs:
+
+- an event heap ordered by ``(time, priority, sequence)``;
+- :class:`Event` objects with success/failure values and callback lists;
+- :class:`Process` coroutines that suspend on yielded events and may be
+  interrupted (used for TCP retransmission timers);
+- ``all_of`` / ``any_of`` combinators for barrier-style joins.
+
+Time is a ``float`` in **seconds**; components express their own constants in
+ns/us via the helpers in :mod:`repro.units`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (double-trigger, running a finished sim...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value supplied by the interrupter.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+PENDING = object()  # sentinel: event value not yet decided
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event goes through at most one transition: *pending* -> *triggered*
+    (either succeeded with a value, or failed with an exception).  Once
+    triggered it is scheduled on the environment's heap and its callbacks run
+    when the heap pops it.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have fired callbacks yet)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (``callbacks`` is discarded then)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event value is not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception instance if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully, scheduling callbacks after *delay*."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception; waiters will see it raised."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, delay)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel does not crash on it."""
+        self._defused = True
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run *fn(event)* when the event is processed."""
+        if self.callbacks is None:
+            raise SimulationError(f"{self!r} has already been processed")
+        self.callbacks.append(fn)
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator coroutine.  As an :class:`Event` it triggers when
+    the generator returns (value = ``StopIteration`` value) or raises.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume once at the current time.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env._schedule(init, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has already terminated")
+        if self._target is None:
+            raise SimulationError("cannot interrupt a process being initialized")
+        # Detach from the event we were waiting on, then resume with failure.
+        target = self._target
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        wakeup = Event(self.env)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup._defused = True
+        wakeup.callbacks.append(self._resume)
+        self.env._schedule(wakeup, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self, 0.0)
+                return
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self, 0.0)
+                return
+
+            if not isinstance(next_event, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+            if next_event.callbacks is None:
+                # Already processed: resume immediately with its value.
+                event = next_event
+                continue
+            next_event.add_callback(self._resume)
+            self._target = next_event
+            return
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class Condition(Event):
+    """Base for ``all_of`` / ``any_of``: triggers from a set of child events."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        if not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _results(self) -> dict:
+        return {
+            i: ev._value
+            for i, ev in enumerate(self._events)
+            if ev.triggered
+        }
+
+
+class AllOf(Condition):
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self._events):
+            self.succeed(self._results())
+
+
+class AnyOf(Condition):
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._results())
+
+
+def all_of(env: "Environment", events: Iterable[Event]) -> Event:
+    """Event that succeeds once every event in *events* has succeeded."""
+    return AllOf(env, events)
+
+
+def any_of(env: "Environment", events: Iterable[Event]) -> Event:
+    """Event that succeeds once any event in *events* has succeeded."""
+    return AnyOf(env, events)
+
+
+class Environment:
+    """Holds simulation time and the event heap, and runs the main loop."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: List[tuple] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def schedule_callback(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run *fn* after *delay* (a convenience for non-process components)."""
+        ev = Timeout(self, delay)
+        ev.add_callback(lambda _ev: fn())
+        return ev
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that succeeds after *delay* seconds."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new process running *generator*."""
+        return Process(self, generator, name=name)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("no more events")
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for fn in callbacks:
+            fn(event)
+        if event._ok is False and not event._defused:
+            # An unhandled failure: surface it instead of losing it silently.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        - ``until=None``: run until the heap drains.
+        - ``until`` is an :class:`Event`: run until it triggers, return its value.
+        - ``until`` is a number: run until that simulation time.
+        """
+        stop_time = None
+        stop_event = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until={stop_time} is in the past (now={self._now})"
+                )
+
+        while self._heap:
+            if stop_event is not None and stop_event.processed:
+                break
+            if stop_time is not None and self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "simulation ended before the awaited event triggered "
+                    "(deadlock or missing stimulus)"
+                )
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        if stop_time is not None:
+            self._now = stop_time
+        return None

@@ -1,0 +1,89 @@
+"""Sample recording and summary statistics for experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+
+class Monitor:
+    """Records ``(time, value)`` samples and summarizes them.
+
+    Used by benchmarks to collect per-run latencies and by components to
+    expose occupancy counters without printing anything themselves.
+    """
+
+    def __init__(self, name: str = "monitor"):
+        self.name = name
+        self._samples: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        self._samples.append((time, float(value)))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def values(self) -> List[float]:
+        return [v for _, v in self._samples]
+
+    @property
+    def times(self) -> List[float]:
+        return [t for t, _ in self._samples]
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        return sum(self.values) / len(self._samples)
+
+    def minimum(self) -> float:
+        if not self._samples:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        return min(self.values)
+
+    def maximum(self) -> float:
+        if not self._samples:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        return max(self.values)
+
+    def stddev(self) -> float:
+        if len(self._samples) < 2:
+            return 0.0
+        mu = self.mean()
+        var = sum((v - mu) ** 2 for v in self.values) / (len(self._samples) - 1)
+        return math.sqrt(var)
+
+    def percentile(self, pct: float) -> float:
+        """Linear-interpolated percentile, ``pct`` in [0, 100]."""
+        if not self._samples:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = pct / 100.0 * (len(ordered) - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def clear(self) -> None:
+        self._samples.clear()
+
+    def summary(self) -> dict:
+        """Dict summary convenient for table rows."""
+        return {
+            "name": self.name,
+            "count": len(self._samples),
+            "mean": self.mean(),
+            "min": self.minimum(),
+            "max": self.maximum(),
+            "p50": self.percentile(50),
+            "p99": self.percentile(99) if len(self._samples) > 1 else self.maximum(),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Monitor {self.name!r} n={len(self._samples)}>"

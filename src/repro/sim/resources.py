@@ -1,0 +1,181 @@
+"""Shared-resource models: counted resources and serializing byte-pipes.
+
+:class:`BandwidthResource` is the workhorse of the timing model.  Links,
+memory ports and PCIe lanes are all byte-pipes: a transfer of *n* bytes
+occupies the pipe for ``n / rate`` seconds, transfers are serialized FIFO,
+and an optional per-transfer overhead models fixed command/packet costs.
+Occupancy is tracked analytically (a "free-at" watermark) so that a transfer
+costs O(1) events regardless of its size.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.sim.kernel import Environment, Event
+
+
+class Resource:
+    """A counted resource with FIFO queueing (e.g. DMA engines, QP slots)."""
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Event that succeeds when a slot is granted.  Pair with release()."""
+        ev = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot directly to the next waiter; _in_use is unchanged.
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+    def __repr__(self) -> str:
+        return f"<Resource {self.name!r} {self._in_use}/{self.capacity}>"
+
+
+class BandwidthResource:
+    """A FIFO byte-pipe with fixed rate and optional per-transfer overhead.
+
+    ``transfer(nbytes)`` returns an event that succeeds when the last byte
+    has left the pipe.  Back-to-back transfers queue behind each other, so
+    sustained throughput can never exceed ``rate`` and small transfers pay
+    ``per_transfer_overhead`` each — exactly the behaviour that produces the
+    classic throughput-vs-message-size ramp of Figure 7.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rate_bytes_per_s: float,
+        per_transfer_overhead_s: float = 0.0,
+        name: str = "pipe",
+    ):
+        if rate_bytes_per_s <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bytes_per_s}")
+        if per_transfer_overhead_s < 0:
+            raise ValueError("overhead must be non-negative")
+        self.env = env
+        self.rate = float(rate_bytes_per_s)
+        self.overhead = float(per_transfer_overhead_s)
+        self.name = name
+        self._free_at = 0.0
+        self._busy_time = 0.0
+        self._bytes_moved = 0
+
+    @property
+    def bytes_moved(self) -> int:
+        return self._bytes_moved
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Fraction of wall time the pipe was busy in ``[since, now]``."""
+        elapsed = self.env.now - since
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self._busy_time / elapsed)
+
+    def busy_until(self) -> float:
+        """Simulation time at which the pipe becomes idle."""
+        return max(self._free_at, self.env.now)
+
+    def occupancy_delay(self, nbytes: int) -> float:
+        """Time from *now* until a transfer of *nbytes* would finish."""
+        start = max(self._free_at, self.env.now)
+        return (start - self.env.now) + self.overhead + nbytes / self.rate
+
+    def transfer(self, nbytes: int) -> Event:
+        """Occupy the pipe for *nbytes*; event succeeds at completion time."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        start = max(self._free_at, self.env.now)
+        duration = self.overhead + nbytes / self.rate
+        finish = start + duration
+        self._free_at = finish
+        self._busy_time += duration
+        self._bytes_moved += nbytes
+        return self.env.timeout(finish - self.env.now, value=nbytes)
+
+    def reserve(self, nbytes: int) -> float:
+        """Like :meth:`transfer` but returns the completion *time* without an
+        event — for components that aggregate several pipe stages analytically.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        start = max(self._free_at, self.env.now)
+        duration = self.overhead + nbytes / self.rate
+        self._free_at = start + duration
+        self._busy_time += duration
+        self._bytes_moved += nbytes
+        return self._free_at
+
+    def __repr__(self) -> str:
+        gbps = self.rate * 8 / 1e9
+        return f"<BandwidthResource {self.name!r} {gbps:.1f} Gb/s>"
+
+
+class TokenBucket:
+    """Credit-based flow control (RDMA-style tokens).
+
+    The paper notes RDMA's token-based flow control makes it well-suited to
+    the sophisticated rendezvous algorithms; TCP's window plays a similar
+    role.  This primitive backs both.
+    """
+
+    def __init__(self, env: Environment, tokens: int, name: str = "tokens",
+                 initial: Optional[int] = None):
+        if tokens < 1:
+            raise ValueError("token count must be >= 1")
+        self.env = env
+        self.capacity = tokens
+        self.name = name
+        self._available = tokens if initial is None else initial
+        self._waiters: Deque[tuple] = deque()  # (event, amount)
+
+    @property
+    def available(self) -> int:
+        return self._available
+
+    def take(self, amount: int = 1) -> Event:
+        if amount > self.capacity:
+            raise ValueError(
+                f"requested {amount} tokens, bucket holds only {self.capacity}"
+            )
+        ev = Event(self.env)
+        if self._available >= amount and not self._waiters:
+            self._available -= amount
+            ev.succeed(amount)
+        else:
+            self._waiters.append((ev, amount))
+        return ev
+
+    def give(self, amount: int = 1) -> None:
+        self._available = min(self.capacity, self._available + amount)
+        while self._waiters and self._waiters[0][1] <= self._available:
+            ev, amt = self._waiters.popleft()
+            self._available -= amt
+            ev.succeed(amt)

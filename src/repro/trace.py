@@ -1,0 +1,112 @@
+"""Execution tracing for debugging and performance analysis.
+
+The paper motivates the simulation platform with shortened "hardware
+debugging cycles"; a trace of control-plane and data-plane events is the
+tool that makes that true in practice.  Attach a :class:`Tracer` to an
+engine and every uC dispatch, DMP instruction, Tx/Rx message and RBM
+transaction is recorded with its simulated timestamp.
+
+Usage::
+
+    tracer = Tracer()
+    engine.attach_tracer(tracer)
+    ... run ...
+    print(tracer.summary())
+    for ev in tracer.filter(component="dmp"):
+        print(ev)
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence."""
+
+    time: float
+    component: str
+    event: str
+    detail: tuple = field(default=())
+
+    def detail_dict(self) -> Dict[str, Any]:
+        return dict(self.detail)
+
+    def __str__(self) -> str:
+        details = " ".join(f"{k}={v}" for k, v in self.detail)
+        return f"[{self.time * 1e6:12.3f}us] {self.component}.{self.event} {details}"
+
+
+class Tracer:
+    """Bounded in-memory event recorder."""
+
+    def __init__(self, capacity: int = 100_000):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, time: float, component: str, event: str,
+               **detail: Any) -> None:
+        if len(self._events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._events.append(TraceEvent(
+            time=time, component=component, event=event,
+            detail=tuple(sorted(detail.items())),
+        ))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def filter(self, component: Optional[str] = None,
+               event: Optional[str] = None) -> List[TraceEvent]:
+        """Events matching the given component and/or event name."""
+        return [
+            ev for ev in self._events
+            if (component is None or ev.component == component)
+            and (event is None or ev.event == event)
+        ]
+
+    def summary(self) -> Dict[str, int]:
+        """``{"component.event": count}`` over the whole trace."""
+        counts = Counter(f"{ev.component}.{ev.event}" for ev in self._events)
+        return dict(sorted(counts.items()))
+
+    def spans(self, component: str, start_event: str,
+              end_event: str) -> List[float]:
+        """Durations between consecutive start/end event pairs."""
+        durations = []
+        open_starts: List[float] = []
+        for ev in self._events:
+            if ev.component != component:
+                continue
+            if ev.event == start_event:
+                open_starts.append(ev.time)
+            elif ev.event == end_event and open_starts:
+                durations.append(ev.time - open_starts.pop(0))
+        return durations
+
+    def to_csv(self, path: str) -> int:
+        """Dump the trace; returns the number of rows written."""
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["time_s", "component", "event", "detail"])
+            for ev in self._events:
+                writer.writerow([
+                    f"{ev.time:.9f}", ev.component, ev.event,
+                    ";".join(f"{k}={v}" for k, v in ev.detail),
+                ])
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0

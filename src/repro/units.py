@@ -1,0 +1,71 @@
+"""Unit helpers.
+
+Simulation time is seconds; sizes are bytes.  These helpers keep calibration
+constants readable (``us(2.3)``, ``gbps(100)``) and conversions honest.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def ns(value: float) -> float:
+    """Nanoseconds -> seconds."""
+    return value * 1e-9
+
+
+def us(value: float) -> float:
+    """Microseconds -> seconds."""
+    return value * 1e-6
+
+
+def ms(value: float) -> float:
+    """Milliseconds -> seconds."""
+    return value * 1e-3
+
+
+def to_us(seconds: float) -> float:
+    """Seconds -> microseconds."""
+    return seconds * 1e6
+
+
+def to_ms(seconds: float) -> float:
+    """Seconds -> milliseconds."""
+    return seconds * 1e3
+
+
+def gbps(value: float) -> float:
+    """Gigabits per second -> bytes per second."""
+    return value * 1e9 / 8
+
+
+def gibps(value: float) -> float:
+    """Gibibytes per second -> bytes per second."""
+    return value * GIB
+
+
+def to_gbps(bytes_per_s: float) -> float:
+    """Bytes per second -> gigabits per second."""
+    return bytes_per_s * 8 / 1e9
+
+
+def cycles(count: float, freq_hz: float) -> float:
+    """Clock cycles at *freq_hz* -> seconds."""
+    if freq_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_hz}")
+    return count / freq_hz
+
+
+def pretty_size(nbytes: int) -> str:
+    """Human-readable byte size: 1024 -> '1KiB'."""
+    if nbytes < 0:
+        raise ValueError(f"negative size: {nbytes}")
+    if nbytes >= GIB and nbytes % GIB == 0:
+        return f"{nbytes // GIB}GiB"
+    if nbytes >= MIB and nbytes % MIB == 0:
+        return f"{nbytes // MIB}MiB"
+    if nbytes >= KIB and nbytes % KIB == 0:
+        return f"{nbytes // KIB}KiB"
+    return f"{nbytes}B"

@@ -1,0 +1,34 @@
+"""Shared test utilities for collective-level tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cclo.microcontroller import CollectiveArgs
+from repro.cluster import FpgaCluster, build_fpga_cluster
+from repro.platform.base import BufferLocation
+
+
+def make_cluster(n, protocol="rdma", platform="sim", **kwargs) -> FpgaCluster:
+    return build_fpga_cluster(n, protocol=protocol, platform=platform, **kwargs)
+
+
+def dev_buffer(cluster, rank, array):
+    """Wrap a numpy array in a device buffer on *rank*; returns a view."""
+    buf = cluster.nodes[rank].platform.wrap(
+        np.ascontiguousarray(array), BufferLocation.DEVICE
+    )
+    return buf.view()
+
+
+def empty_dev_buffer(cluster, rank, n_elems, dtype=np.float32):
+    return dev_buffer(cluster, rank, np.zeros(n_elems, dtype=dtype))
+
+
+def run_collective(cluster, make_args):
+    """Run one collective; returns elapsed simulated seconds."""
+    return cluster.run_collective(make_args)
+
+
+def collective_args(**kwargs) -> CollectiveArgs:
+    return CollectiveArgs(**kwargs)

@@ -1,0 +1,133 @@
+"""Tests of the fine-grained auto-tuner (the paper's future-work feature)."""
+
+import pytest
+
+from repro import units
+from repro.cclo.config_mem import AlgorithmParams, CommunicatorConfig
+from repro.cclo.microcontroller import CollectiveArgs
+from repro.collectives.autotune import (
+    CollectiveAutoTuner,
+    TunedSelector,
+    TuningPoint,
+)
+from repro.errors import CollectiveError
+
+
+def synthetic_measure(opcode, algorithm, nbytes, nranks):
+    """A deterministic cost model with a clear best per regime:
+    all_to_one wins small, binary_tree wins large, ring never."""
+    base = {"all_to_one": 5e-6 + nbytes * nranks / 12.5e9,
+            "binary_tree": 12e-6 + nbytes * 2.2 / 12.5e9,
+            "ring": 4e-6 * nranks + nbytes * 1.1 / 12.5e9}[algorithm]
+    return base
+
+
+ALGOS = {"reduce": ("ring", "all_to_one", "binary_tree")}
+
+
+class TestTuningPoint:
+    def test_best_and_regret(self):
+        point = TuningPoint(1024, 4, {"a": 2.0, "b": 1.0})
+        assert point.best == "b"
+        assert point.regret_of("a") == pytest.approx(1.0)
+        assert point.regret_of("b") == 0.0
+
+    def test_empty_point_rejected(self):
+        with pytest.raises(CollectiveError):
+            TuningPoint(1, 1).best
+
+
+class TestAutoTuner:
+    def make_tuner(self):
+        tuner = CollectiveAutoTuner(synthetic_measure, ALGOS)
+        tuner.tune("reduce",
+                   sizes=[4 * units.KIB, 64 * units.KIB, units.MIB],
+                   rank_counts=[4, 8])
+        return tuner
+
+    def test_grid_fully_measured(self):
+        tuner = self.make_tuner()
+        points = tuner.tables["reduce"]
+        assert len(points) == 6
+        assert all(len(p.timings) == 3 for p in points)
+
+    def test_tuned_selector_picks_grid_best(self):
+        tuner = self.make_tuner()
+        selector = tuner.build_selector()
+        params = AlgorithmParams()
+        for point in tuner.tables["reduce"]:
+            comm = CommunicatorConfig(0, 0, list(range(point.nranks)),
+                                      protocol="rdma")
+            pick = selector.choose(
+                CollectiveArgs(opcode="reduce", nbytes=point.nbytes),
+                comm, params)
+            assert pick == point.best, (point.nbytes, point.nranks)
+
+    def test_off_grid_snaps_to_nearest(self):
+        tuner = self.make_tuner()
+        selector = tuner.build_selector()
+        params = AlgorithmParams()
+        comm = CommunicatorConfig(0, 0, list(range(6)), protocol="rdma")
+        pick = selector.choose(
+            CollectiveArgs(opcode="reduce", nbytes=48 * units.KIB),
+            comm, params)
+        assert pick in ALGOS["reduce"]
+
+    def test_untuned_opcode_falls_back_to_table1(self):
+        tuner = self.make_tuner()
+        selector = tuner.build_selector()
+        params = AlgorithmParams()
+        comm = CommunicatorConfig(0, 0, list(range(8)), protocol="rdma")
+        pick = selector.choose(
+            CollectiveArgs(opcode="bcast", nbytes=units.MIB), comm, params)
+        assert pick == "recursive_doubling"  # stock policy
+
+    def test_stock_regret_reported(self):
+        tuner = self.make_tuner()
+        regret = tuner.max_stock_regret("reduce")
+        assert regret >= 0.0
+
+    def test_unknown_opcode_rejected(self):
+        tuner = CollectiveAutoTuner(synthetic_measure, ALGOS)
+        with pytest.raises(CollectiveError):
+            tuner.tune("bcast", [1024], [4])
+
+    def test_selector_requires_measurements(self):
+        tuner = CollectiveAutoTuner(synthetic_measure, ALGOS)
+        with pytest.raises(CollectiveError):
+            tuner.build_selector()
+
+
+class TestEndToEndTuning:
+    def test_tuning_on_real_simulated_measurements(self):
+        """Tune against the actual engine and deploy at runtime."""
+        from repro.bench.harness import accl_collective_time
+        from repro.platform.base import BufferLocation
+
+        def measure(opcode, algorithm, nbytes, nranks):
+            return accl_collective_time(
+                opcode, nbytes, n_nodes=nranks, algorithm=algorithm,
+                location=BufferLocation.DEVICE)
+
+        tuner = CollectiveAutoTuner(measure, ALGOS)
+        tuner.tune("reduce", sizes=[8 * units.KIB, 128 * units.KIB],
+                   rank_counts=[8])
+        selector = tuner.build_selector()
+        params = AlgorithmParams()
+        comm = CommunicatorConfig(0, 0, list(range(8)), protocol="rdma")
+        small_pick = selector.choose(
+            CollectiveArgs(opcode="reduce", nbytes=8 * units.KIB),
+            comm, params)
+        large_pick = selector.choose(
+            CollectiveArgs(opcode="reduce", nbytes=128 * units.KIB),
+            comm, params)
+        # The empirically-best choices match the Fig 12 narrative.
+        assert small_pick == "all_to_one"
+        assert large_pick == "binary_tree"
+        # The tuned table can be installed on a live engine's selector slot.
+        from tests.helpers import make_cluster
+        cluster = make_cluster(2)
+        cluster.engine(0).selector = selector
+        ev = cluster.engine(0).call(CollectiveArgs(opcode="nop"))
+        cluster.env.run(until=ev)
+        assert ev.ok

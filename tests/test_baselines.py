@@ -1,0 +1,291 @@
+"""Tests of the software-MPI model, its algorithms, F2F wrapper and ACCL v1."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.baselines import (
+    F2fMpiModel,
+    MpiTuning,
+    build_accl_v1_cluster,
+    build_mpi_cluster,
+)
+from repro.baselines import algorithms as alg
+from repro.cclo.microcontroller import CollectiveArgs
+from repro.sim import all_of
+from tests.helpers import dev_buffer, empty_dev_buffer, make_cluster
+
+N = 256
+
+
+def data(rank, n=N):
+    rng = np.random.default_rng(100 + rank)
+    return rng.standard_normal(n).astype(np.float32)
+
+
+class TestMpiPointToPoint:
+    @pytest.mark.parametrize("nbytes", [1024, 256 * units.KIB])
+    def test_send_recv_values(self, nbytes):
+        """Covers both eager (1 KiB) and rendezvous (256 KiB) paths."""
+        cluster = build_mpi_cluster(2)
+        n = nbytes // 4
+        payload = data(0, n)
+        out = np.zeros(n, dtype=np.float32)
+
+        def proc(me):
+            if me.rank == 0:
+                yield me.isend(payload, nbytes, dst=1, tag=5)
+            else:
+                yield me.irecv(out, nbytes, src=0, tag=5)
+
+        elapsed = cluster.run_all(proc)
+        assert elapsed > 0
+        np.testing.assert_allclose(out, payload)
+
+    def test_tcp_personality(self):
+        cluster = build_mpi_cluster(2, library="mpich", transport="tcp")
+        payload = data(0)
+        out = np.zeros(N, dtype=np.float32)
+
+        def proc(me):
+            if me.rank == 0:
+                yield me.isend(payload, payload.nbytes, dst=1)
+            else:
+                yield me.irecv(out, payload.nbytes, src=0)
+
+        cluster.run_all(proc)
+        np.testing.assert_allclose(out, payload)
+
+    def test_rdma_faster_than_tcp_small_messages(self):
+        def latency(transport, library):
+            cluster = build_mpi_cluster(2, library=library,
+                                        transport=transport)
+            payload = data(0)
+            out = np.zeros(N, dtype=np.float32)
+
+            def proc(me):
+                if me.rank == 0:
+                    yield me.isend(payload, payload.nbytes, dst=1)
+                else:
+                    yield me.irecv(out, payload.nbytes, src=0)
+
+            return cluster.run_all(proc)
+
+        assert latency("rdma", "openmpi") < latency("tcp", "mpich")
+
+    def test_cpu_busy_time_accounted(self):
+        cluster = build_mpi_cluster(2)
+        payload = data(0)
+
+        def proc(me):
+            if me.rank == 0:
+                yield me.isend(payload, payload.nbytes, dst=1)
+            else:
+                yield me.irecv(np.zeros(N, np.float32), payload.nbytes, src=0)
+
+        cluster.run_all(proc)
+        assert all(r.cpu_busy_seconds > 0 for r in cluster.ranks)
+
+
+class TestMpiCollectives:
+    @pytest.mark.parametrize("algorithm", ["binomial", "scatter_allgather",
+                                           "pipeline"])
+    def test_bcast(self, algorithm):
+        size = 8
+        cluster = build_mpi_cluster(size)
+        payload = data(0, 1024)
+        bufs = [payload.copy() if r == 0 else np.zeros(1024, np.float32)
+                for r in range(size)]
+        cluster.run_all(lambda me: alg.mpi_bcast(
+            me, bufs[me.rank], payload.nbytes, 0, tag=0, algorithm=algorithm))
+        for r in range(size):
+            np.testing.assert_allclose(bufs[r], payload, err_msg=f"rank {r}")
+
+    @pytest.mark.parametrize("algorithm", [
+        "linear", "chain", "binomial", "reduce_scatter_gather",
+    ])
+    @pytest.mark.parametrize("size,root", [(4, 0), (8, 3), (5, 2)])
+    def test_reduce(self, algorithm, size, root):
+        cluster = build_mpi_cluster(size)
+        contribs = [data(r, 1024) for r in range(size)]
+        out = np.zeros(1024, np.float32)
+        cluster.run_all(lambda me: alg.mpi_reduce(
+            me, contribs[me.rank], out if me.rank == root else
+            np.zeros(1024, np.float32), contribs[0].nbytes, root,
+            tag=0, algorithm=algorithm))
+        np.testing.assert_allclose(out, np.sum(contribs, axis=0),
+                                   rtol=1e-3, atol=1e-5)
+
+    @pytest.mark.parametrize("algorithm", ["recursive_doubling", "ring"])
+    @pytest.mark.parametrize("size", [2, 4, 5, 8])
+    def test_allreduce(self, algorithm, size):
+        cluster = build_mpi_cluster(size)
+        contribs = [data(r, 1024) for r in range(size)]
+        outs = [np.zeros(1024, np.float32) for _ in range(size)]
+        cluster.run_all(lambda me: alg.mpi_allreduce(
+            me, contribs[me.rank], outs[me.rank], contribs[0].nbytes,
+            tag=0, algorithm=algorithm))
+        expected = np.sum(contribs, axis=0)
+        for r in range(size):
+            np.testing.assert_allclose(outs[r], expected, rtol=1e-3,
+                                       atol=1e-5, err_msg=f"rank {r}")
+
+    @pytest.mark.parametrize("algorithm", ["linear", "binomial"])
+    @pytest.mark.parametrize("root", [0, 3])
+    def test_gather(self, algorithm, root):
+        size = 8
+        cluster = build_mpi_cluster(size)
+        blocks = [data(r) for r in range(size)]
+        out = np.zeros(N * size, np.float32)
+        cluster.run_all(lambda me: alg.mpi_gather(
+            me, blocks[me.rank], out if me.rank == root else None,
+            blocks[0].nbytes, root, algorithm=algorithm))
+        np.testing.assert_allclose(out, np.concatenate(blocks))
+
+    @pytest.mark.parametrize("algorithm", ["linear", "binomial"])
+    @pytest.mark.parametrize("size,root", [(4, 0), (8, 3), (5, 2)])
+    def test_scatter(self, algorithm, size, root):
+        cluster = build_mpi_cluster(size)
+        blocks = [data(r) for r in range(size)]
+        sbuf = np.concatenate(blocks)
+        outs = [np.zeros(N, np.float32) for _ in range(size)]
+        cluster.run_all(lambda me: alg.mpi_scatter(
+            me, sbuf if me.rank == root else None, outs[me.rank],
+            blocks[0].nbytes, root, algorithm=algorithm))
+        for r in range(size):
+            np.testing.assert_allclose(outs[r], blocks[r])
+
+    def test_pipeline_bcast_beats_binomial_at_large_sizes(self):
+        """The chain's segment overlap pays off once messages are long."""
+        size = 8
+        nbytes = 8 * units.MIB
+
+        def bcast_time(algorithm):
+            cluster = build_mpi_cluster(size)
+            return cluster.run_all(lambda me: alg.mpi_bcast(
+                me, None, nbytes, 0, tag=0, algorithm=algorithm))
+
+        assert bcast_time("pipeline") < bcast_time("binomial")
+
+    def test_allgather(self):
+        size = 4
+        cluster = build_mpi_cluster(size)
+        blocks = [data(r) for r in range(size)]
+        outs = [np.zeros(N * size, np.float32) for _ in range(size)]
+        cluster.run_all(lambda me: alg.mpi_allgather(
+            me, blocks[me.rank], outs[me.rank], blocks[0].nbytes))
+        expected = np.concatenate(blocks)
+        for r in range(size):
+            np.testing.assert_allclose(outs[r], expected)
+
+    def test_alltoall(self):
+        size = 4
+        cluster = build_mpi_cluster(size)
+        sbufs = [np.concatenate([data(r * size + d) for d in range(size)])
+                 for r in range(size)]
+        outs = [np.zeros(N * size, np.float32) for _ in range(size)]
+        cluster.run_all(lambda me: alg.mpi_alltoall(
+            me, sbufs[me.rank], outs[me.rank], data(0).nbytes))
+        for d in range(size):
+            expected = np.concatenate([data(s * size + d)
+                                       for s in range(size)])
+            np.testing.assert_allclose(outs[d], expected)
+
+    def test_barrier(self):
+        cluster = build_mpi_cluster(6)
+        elapsed = cluster.run_all(lambda me: alg.mpi_barrier(me))
+        assert elapsed > 0
+
+
+class TestTuning:
+    def test_reduce_narrative_of_fig12(self):
+        """The exact selection story told in the paper for Figure 12."""
+        tuning = MpiTuning()
+        small = 8 * units.KIB
+        assert tuning.reduce(small, 2) == "linear"
+        assert tuning.reduce(small, 4) == "chain"
+        assert tuning.reduce(small, 8) == "binomial"
+        large = 128 * units.KIB
+        assert tuning.reduce(large, 3) == "linear"
+        assert tuning.reduce(large, 8) == "binomial"
+
+    def test_largest_reduce_uses_rabenseifner(self):
+        tuning = MpiTuning()
+        assert tuning.reduce(4 * units.MIB, 8) == "reduce_scatter_gather"
+
+    def test_bcast_switches_to_van_de_geijn(self):
+        tuning = MpiTuning()
+        assert tuning.bcast(4 * units.KIB, 8) == "binomial"
+        assert tuning.bcast(4 * units.MIB, 8) == "scatter_allgather"
+
+
+class TestF2fModel:
+    def test_breakdown_sums_and_pcie_dominates_small(self):
+        cluster = build_mpi_cluster(4)
+        model = F2fMpiModel(cluster)
+        nbytes = 4 * units.KIB
+        payload = data(0, nbytes // 4)
+        bufs = [payload.copy() if r == 0 else np.zeros(nbytes // 4, np.float32)
+                for r in range(4)]
+        breakdown = model.run(
+            lambda me: alg.mpi_bcast(me, bufs[me.rank], nbytes, 0, tag=0),
+            in_bytes=lambda r: nbytes if r == 0 else 0,
+            out_bytes=lambda r: 0 if r == 0 else nbytes,
+        )
+        d = breakdown.as_dict()
+        assert d["total"] == pytest.approx(
+            d["pcie_in"] + d["collective"] + d["pcie_out"] + d["invocation"])
+        assert breakdown.pcie_in > 0 and breakdown.pcie_out > 0
+
+    def test_collective_dominates_large(self):
+        cluster = build_mpi_cluster(4)
+        model = F2fMpiModel(cluster)
+        nbytes = 16 * units.MIB
+        breakdown = model.run(
+            lambda me: alg.mpi_bcast(me, None, nbytes, 0, tag=0),
+            in_bytes=lambda r: nbytes if r == 0 else 0,
+            out_bytes=lambda r: 0 if r == 0 else nbytes,
+        )
+        assert breakdown.collective > breakdown.pcie_in
+        assert breakdown.collective > breakdown.pcie_out
+
+
+class TestAcclV1:
+    def test_v1_functionally_correct(self):
+        cluster = build_accl_v1_cluster(2)
+        payload = data(0)
+        sview = dev_buffer(cluster, 0, payload)
+        rview = empty_dev_buffer(cluster, 1, N)
+
+        def args(rank):
+            if rank == 0:
+                return CollectiveArgs(opcode="send", peer=1,
+                                      nbytes=payload.nbytes, sbuf=sview)
+            return CollectiveArgs(opcode="recv", peer=0,
+                                  nbytes=payload.nbytes, rbuf=rview)
+
+        cluster.run_collective(args)
+        np.testing.assert_allclose(rview.array, payload)
+
+    def test_v1_slower_than_accl_plus(self):
+        """Fig 13's key claim: the RBM offload beats uC packet handling."""
+        size = 512 * units.KIB
+
+        def sendrecv_time(cluster):
+            payload = np.zeros(size // 4, dtype=np.float32)
+            sview = dev_buffer(cluster, 0, payload)
+            rview = empty_dev_buffer(cluster, 1, size // 4)
+
+            def args(rank):
+                if rank == 0:
+                    return CollectiveArgs(opcode="send", peer=1, nbytes=size,
+                                          sbuf=sview)
+                return CollectiveArgs(opcode="recv", peer=0, nbytes=size,
+                                      rbuf=rview)
+
+            return cluster.run_collective(args)
+
+        t_v1 = sendrecv_time(build_accl_v1_cluster(2))
+        t_v2 = sendrecv_time(make_cluster(2, protocol="tcp",
+                                          platform="vitis"))
+        assert t_v1 > 1.5 * t_v2

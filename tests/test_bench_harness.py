@@ -1,0 +1,102 @@
+"""Tests of the benchmark harness plumbing and CLI (fast artifacts only)."""
+
+import pytest
+
+from repro.bench import format_rows, format_series
+from repro.bench.harness import (
+    accl_collective_time,
+    mpi_collective_time,
+    run_fig08_invocation_latency,
+    run_tab01_algorithm_table,
+    run_tab03_resources,
+)
+from repro.bench.__main__ import ARTIFACTS, main
+from repro.platform.base import BufferLocation
+from repro import units
+
+
+class TestFormats:
+    def test_format_rows_aligns_columns(self):
+        text = format_rows(
+            [{"a": 1, "b": "xx"}, {"a": 22.5, "b": "y"}],
+            ["a", "b"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_rows_missing_cell(self):
+        text = format_rows([{"a": 1}], ["a", "b"])
+        assert "1" in text
+
+    def test_format_series_merges_x_values(self):
+        text = format_series(
+            {"s1": {1: 10.0, 2: 20.0}, "s2": {2: 5.0, 3: 6.0}}, "x")
+        lines = text.splitlines()
+        assert len(lines) == 2 + 3  # header + rule + three x rows
+        assert "-" in lines[2]  # s1 has no x=3... s2 has no x=1
+
+    def test_float_rendering(self):
+        text = format_rows([{"v": 1.23456789}], ["v"])
+        assert "1.235" in text
+
+
+class TestHarnessRunners:
+    def test_tab01_rows_complete(self):
+        rows = run_tab01_algorithm_table()
+        assert {r["collective"] for r in rows} == {
+            "bcast", "reduce", "gather", "alltoall"}
+
+    def test_tab03_rows_complete(self):
+        rows = run_tab03_resources()
+        names = [r["component"] for r in rows]
+        assert names[0] == "U55C(100%)"
+        assert len(names) == 7
+
+    def test_fig08_rows(self):
+        rows = run_fig08_invocation_latency(repeats=2)
+        assert [r["caller"] for r in rows] == [
+            "FPGA kernel", "Coyote host", "XRT host"]
+        assert all(r["latency_us"] > 0 for r in rows)
+
+    def test_accl_collective_time_runner(self):
+        t = accl_collective_time("bcast", 4 * units.KIB, n_nodes=4,
+                                 location=BufferLocation.DEVICE)
+        assert t > 0
+
+    def test_accl_runner_via_driver(self):
+        t = accl_collective_time("bcast", 4 * units.KIB, n_nodes=4,
+                                 location=BufferLocation.HOST,
+                                 via_driver=True)
+        assert t > 0
+
+    def test_mpi_collective_time_runner(self):
+        t = mpi_collective_time("bcast", 4 * units.KIB, n_ranks=4)
+        assert t > 0
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            accl_collective_time("scan", 1024)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out and "tab03" in out
+
+    def test_unknown_artifact(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_regenerates_fast_artifacts(self, capsys):
+        assert main(["tab01", "tab03"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 3" in out
+        assert "recursive_doubling" in out
+        assert "DLRM FC1" in out
+
+    def test_artifact_registry_covers_all_figures(self):
+        expected = {"fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
+                    "fig13", "fig16", "fig17", "tab01", "tab03"}
+        assert set(ARTIFACTS) == expected

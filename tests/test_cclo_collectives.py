@@ -1,0 +1,347 @@
+"""End-to-end functional tests of CCLO collectives on simulated clusters.
+
+Every test moves real numpy payloads through the full stack (uC firmware ->
+DMP microcode -> Tx/Rx -> POE -> fabric) and checks values against numpy
+references, per algorithm and per synchronization protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cclo.microcontroller import CollectiveArgs
+from tests.helpers import dev_buffer, empty_dev_buffer, make_cluster
+
+N = 256  # elements per rank block
+DTYPE = np.float32
+
+
+def rank_data(rank, n=N, seed_shift=0):
+    rng = np.random.default_rng(1234 + rank + seed_shift)
+    return rng.standard_normal(n).astype(DTYPE)
+
+
+class TestSendRecv:
+    @pytest.mark.parametrize("protocol", ["eager", "rndz"])
+    def test_point_to_point_payload(self, protocol):
+        cluster = make_cluster(2)
+        payload = rank_data(0)
+        sview = dev_buffer(cluster, 0, payload)
+        rview = empty_dev_buffer(cluster, 1, N)
+
+        def args(rank):
+            if rank == 0:
+                return CollectiveArgs(opcode="send", peer=1, nbytes=payload.nbytes,
+                                      sbuf=sview, protocol=protocol)
+            return CollectiveArgs(opcode="recv", peer=0, nbytes=payload.nbytes,
+                                  rbuf=rview, protocol=protocol)
+
+        elapsed = cluster.run_collective(args)
+        assert elapsed > 0
+        np.testing.assert_allclose(rview.array, payload)
+
+    def test_sendrecv_tcp(self):
+        cluster = make_cluster(2, protocol="tcp")
+        payload = rank_data(0)
+        sview = dev_buffer(cluster, 0, payload)
+        rview = empty_dev_buffer(cluster, 1, N)
+
+        def args(rank):
+            if rank == 0:
+                return CollectiveArgs(opcode="send", peer=1,
+                                      nbytes=payload.nbytes, sbuf=sview)
+            return CollectiveArgs(opcode="recv", peer=0,
+                                  nbytes=payload.nbytes, rbuf=rview)
+
+        cluster.run_collective(args)
+        np.testing.assert_allclose(rview.array, payload)
+
+    def test_sendrecv_udp(self):
+        cluster = make_cluster(2, protocol="udp")
+        payload = rank_data(0)
+        sview = dev_buffer(cluster, 0, payload)
+        rview = empty_dev_buffer(cluster, 1, N)
+
+        def args(rank):
+            if rank == 0:
+                return CollectiveArgs(opcode="send", peer=1,
+                                      nbytes=payload.nbytes, sbuf=sview)
+            return CollectiveArgs(opcode="recv", peer=0,
+                                  nbytes=payload.nbytes, rbuf=rview)
+
+        cluster.run_collective(args)
+        np.testing.assert_allclose(rview.array, payload)
+
+    def test_nop_completes(self):
+        cluster = make_cluster(2)
+        elapsed = cluster.run_collective(
+            lambda rank: CollectiveArgs(opcode="nop") if rank == 0 else None
+        )
+        assert elapsed >= 0
+
+
+class TestBcast:
+    @pytest.mark.parametrize("algorithm", ["one_to_all", "recursive_doubling",
+                                           "scatter_allgather"])
+    @pytest.mark.parametrize("size,root", [(4, 0), (8, 0), (8, 3), (5, 2)])
+    def test_bcast_values(self, algorithm, size, root):
+        cluster = make_cluster(size)
+        payload = rank_data(root)
+        views = []
+        for rank in range(size):
+            if rank == root:
+                views.append(dev_buffer(cluster, rank, payload.copy()))
+            else:
+                views.append(empty_dev_buffer(cluster, rank, N))
+
+        cluster.run_collective(lambda r: CollectiveArgs(
+            opcode="bcast", root=root, nbytes=payload.nbytes, rbuf=views[r],
+            algorithm=algorithm,
+        ))
+        for rank in range(size):
+            np.testing.assert_allclose(views[rank].array, payload,
+                                       err_msg=f"rank {rank}")
+
+
+class TestReduce:
+    @pytest.mark.parametrize("algorithm", ["ring", "all_to_one", "binary_tree"])
+    @pytest.mark.parametrize("size,root", [(4, 0), (8, 0), (8, 5), (3, 1)])
+    def test_reduce_sum(self, algorithm, size, root):
+        cluster = make_cluster(size)
+        contributions = [rank_data(r) for r in range(size)]
+        svs = [dev_buffer(cluster, r, contributions[r]) for r in range(size)]
+        rview = empty_dev_buffer(cluster, root, N)
+
+        cluster.run_collective(lambda r: CollectiveArgs(
+            opcode="reduce", root=root, nbytes=contributions[0].nbytes,
+            sbuf=svs[r], rbuf=rview if r == root else None,
+            func="sum", algorithm=algorithm,
+        ))
+        expected = np.sum(contributions, axis=0)
+        np.testing.assert_allclose(rview.array, expected, rtol=1e-3, atol=1e-5)
+
+    @pytest.mark.parametrize("func,npfunc", [
+        ("max", np.max), ("min", np.min), ("prod", np.prod),
+    ])
+    def test_reduce_other_ops(self, func, npfunc):
+        size = 4
+        cluster = make_cluster(size)
+        contributions = [rank_data(r) * 0.5 for r in range(size)]
+        svs = [dev_buffer(cluster, r, contributions[r]) for r in range(size)]
+        rview = empty_dev_buffer(cluster, 0, N)
+
+        cluster.run_collective(lambda r: CollectiveArgs(
+            opcode="reduce", root=0, nbytes=contributions[0].nbytes,
+            sbuf=svs[r], rbuf=rview if r == 0 else None, func=func,
+        ))
+        expected = npfunc(np.stack(contributions), axis=0)
+        np.testing.assert_allclose(rview.array, expected, rtol=1e-3, atol=1e-5)
+
+    def test_reduce_does_not_clobber_contributions(self):
+        size = 4
+        cluster = make_cluster(size)
+        contributions = [rank_data(r) for r in range(size)]
+        svs = [dev_buffer(cluster, r, contributions[r].copy())
+               for r in range(size)]
+        rview = empty_dev_buffer(cluster, 0, N)
+        cluster.run_collective(lambda r: CollectiveArgs(
+            opcode="reduce", root=0, nbytes=contributions[0].nbytes,
+            sbuf=svs[r], rbuf=rview if r == 0 else None, algorithm="ring",
+        ))
+        for r in range(1, size):
+            np.testing.assert_allclose(svs[r].array, contributions[r])
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("algorithm", ["ring", "all_to_one", "binary_tree"])
+    @pytest.mark.parametrize("size,root", [(4, 0), (8, 0), (8, 2), (5, 4)])
+    def test_gather_values(self, algorithm, size, root):
+        cluster = make_cluster(size)
+        blocks = [rank_data(r) for r in range(size)]
+        svs = [dev_buffer(cluster, r, blocks[r]) for r in range(size)]
+        rview = empty_dev_buffer(cluster, root, N * size)
+
+        cluster.run_collective(lambda r: CollectiveArgs(
+            opcode="gather", root=root, nbytes=blocks[0].nbytes, sbuf=svs[r],
+            rbuf=rview if r == root else None, algorithm=algorithm,
+        ))
+        expected = np.concatenate(blocks)
+        np.testing.assert_allclose(rview.array, expected)
+
+    @pytest.mark.parametrize("algorithm", ["linear", "binary_tree"])
+    @pytest.mark.parametrize("size,root", [(4, 0), (8, 0), (8, 6)])
+    def test_scatter_values(self, algorithm, size, root):
+        cluster = make_cluster(size)
+        blocks = [rank_data(r, seed_shift=99) for r in range(size)]
+        sview = dev_buffer(cluster, root, np.concatenate(blocks))
+        rvs = [empty_dev_buffer(cluster, r, N) for r in range(size)]
+
+        cluster.run_collective(lambda r: CollectiveArgs(
+            opcode="scatter", root=root, nbytes=blocks[0].nbytes,
+            sbuf=sview if r == root else None, rbuf=rvs[r],
+            algorithm=algorithm,
+        ))
+        for rank in range(size):
+            np.testing.assert_allclose(rvs[rank].array, blocks[rank],
+                                       err_msg=f"rank {rank}")
+
+
+class TestAllCollectives:
+    @pytest.mark.parametrize("size", [2, 4, 8, 5])
+    def test_allgather_values(self, size):
+        cluster = make_cluster(size)
+        blocks = [rank_data(r) for r in range(size)]
+        svs = [dev_buffer(cluster, r, blocks[r]) for r in range(size)]
+        rvs = [empty_dev_buffer(cluster, r, N * size) for r in range(size)]
+
+        cluster.run_collective(lambda r: CollectiveArgs(
+            opcode="allgather", nbytes=blocks[0].nbytes, sbuf=svs[r],
+            rbuf=rvs[r],
+        ))
+        expected = np.concatenate(blocks)
+        for rank in range(size):
+            np.testing.assert_allclose(rvs[rank].array, expected,
+                                       err_msg=f"rank {rank}")
+
+    @pytest.mark.parametrize("algorithm", ["ring", "reduce_bcast"])
+    @pytest.mark.parametrize("size", [2, 4, 8, 6])
+    def test_allreduce_values(self, algorithm, size):
+        cluster = make_cluster(size)
+        contributions = [rank_data(r) for r in range(size)]
+        svs = [dev_buffer(cluster, r, contributions[r]) for r in range(size)]
+        rvs = [empty_dev_buffer(cluster, r, N) for r in range(size)]
+
+        cluster.run_collective(lambda r: CollectiveArgs(
+            opcode="allreduce", nbytes=contributions[0].nbytes, sbuf=svs[r],
+            rbuf=rvs[r], func="sum", algorithm=algorithm,
+        ))
+        expected = np.sum(contributions, axis=0)
+        for rank in range(size):
+            np.testing.assert_allclose(rvs[rank].array, expected, rtol=1e-3, atol=1e-5,
+                                       err_msg=f"rank {rank}")
+
+    @pytest.mark.parametrize("size", [2, 4, 8])
+    def test_alltoall_values(self, size):
+        cluster = make_cluster(size)
+        # sbuf of rank r block d = data(r, d)
+        svs, rvs = [], []
+        for r in range(size):
+            blocks = [rank_data(r * size + d, seed_shift=7) for d in range(size)]
+            svs.append(dev_buffer(cluster, r, np.concatenate(blocks)))
+            rvs.append(empty_dev_buffer(cluster, r, N * size))
+
+        cluster.run_collective(lambda r: CollectiveArgs(
+            opcode="alltoall", nbytes=rank_data(0).nbytes, sbuf=svs[r],
+            rbuf=rvs[r],
+        ))
+        for d in range(size):
+            expected = np.concatenate(
+                [rank_data(s * size + d, seed_shift=7) for s in range(size)]
+            )
+            np.testing.assert_allclose(rvs[d].array, expected,
+                                       err_msg=f"dst rank {d}")
+
+    @pytest.mark.parametrize("size", [1, 2, 4, 8, 5])
+    def test_barrier_completes(self, size):
+        cluster = make_cluster(size)
+        elapsed = cluster.run_collective(
+            lambda r: CollectiveArgs(opcode="barrier")
+        )
+        assert elapsed >= 0
+
+    def test_barrier_synchronizes(self):
+        """No rank may exit the barrier before the last rank has entered."""
+        cluster = make_cluster(4)
+        env = cluster.env
+        enter_times = {}
+        exit_times = {}
+
+        def staggered(rank):
+            yield env.timeout(rank * 1e-3)  # rank k enters at k ms
+            enter_times[rank] = env.now
+            yield cluster.engine(rank).call(CollectiveArgs(opcode="barrier"))
+            exit_times[rank] = env.now
+
+        for rank in range(4):
+            env.process(staggered(rank))
+        env.run()
+        assert min(exit_times.values()) >= max(enter_times.values())
+
+
+class TestStreaming:
+    def test_streaming_send_to_memory_recv(self):
+        """Kernel pushes a stream; remote receives into memory."""
+        cluster = make_cluster(2)
+        env = cluster.env
+        payload = rank_data(3)
+        rview = empty_dev_buffer(cluster, 1, N)
+        engine0 = cluster.engine(0)
+
+        def kernel():
+            # Issue the streaming send command, then push data (Listing 2).
+            done = engine0.call(CollectiveArgs(
+                opcode="send", peer=1, nbytes=payload.nbytes, from_stream=True,
+            ))
+            for chunk in np.split(payload, 4):
+                yield engine0.kernel_data_in.put((chunk.nbytes, chunk))
+            yield done
+
+        recv_done = cluster.engine(1).call(CollectiveArgs(
+            opcode="recv", peer=0, nbytes=payload.nbytes, rbuf=rview,
+        ))
+        env.process(kernel())
+        env.run()
+        assert recv_done.ok
+        np.testing.assert_allclose(rview.array, payload)
+
+    def test_memory_send_to_streaming_recv(self):
+        cluster = make_cluster(2)
+        env = cluster.env
+        payload = rank_data(5)
+        sview = dev_buffer(cluster, 0, payload)
+        engine1 = cluster.engine(1)
+        got = {}
+
+        def kernel():
+            done = engine1.call(CollectiveArgs(
+                opcode="recv", peer=0, nbytes=payload.nbytes, to_stream=True,
+            ))
+            nbytes, data = yield engine1.kernel_data_out.get()
+            got["nbytes"] = nbytes
+            got["data"] = data
+            yield done
+
+        cluster.engine(0).call(CollectiveArgs(
+            opcode="send", peer=1, nbytes=payload.nbytes, sbuf=sview,
+        ))
+        env.process(kernel())
+        env.run()
+        assert got["nbytes"] == payload.nbytes
+        np.testing.assert_allclose(np.asarray(got["data"]).reshape(-1), payload)
+
+    def test_streaming_reduce_contributions(self):
+        """Non-root ranks stream contributions; root reduces into memory."""
+        size = 4
+        cluster = make_cluster(size)
+        env = cluster.env
+        contributions = [rank_data(r) for r in range(size)]
+        rview = empty_dev_buffer(cluster, 0, N)
+        events = []
+
+        for rank in range(size):
+            engine = cluster.engine(rank)
+            args = CollectiveArgs(
+                opcode="reduce", root=0, nbytes=contributions[rank].nbytes,
+                from_stream=True, rbuf=rview if rank == 0 else None,
+                func="sum", algorithm="all_to_one",
+            )
+            events.append(engine.call(args))
+
+            def pusher(engine=engine, data=contributions[rank]):
+                yield engine.kernel_data_in.put((data.nbytes, data))
+
+            env.process(pusher())
+        env.run()
+        assert all(ev.ok for ev in events)
+        np.testing.assert_allclose(
+            rview.array, np.sum(contributions, axis=0), rtol=1e-3, atol=1e-5
+        )

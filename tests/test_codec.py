@@ -1,0 +1,107 @@
+"""Tests of the fp16 wire codec (unary-plugin compression, §4.4.2)."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.cclo.microcontroller import CollectiveArgs
+from repro.driver import attach_drivers
+from repro.errors import CollectiveError
+from repro.sim import all_of
+from tests.helpers import dev_buffer, empty_dev_buffer, make_cluster
+
+N = 2048
+
+
+def payload():
+    return np.random.default_rng(8).standard_normal(N).astype(np.float32)
+
+
+def run_codec_transfer(codec="fp16", protocol=None):
+    cluster = make_cluster(2, platform="coyote")
+    data = payload()
+    sview = dev_buffer(cluster, 0, data)
+    rview = empty_dev_buffer(cluster, 1, N)
+    d0, d1 = attach_drivers(cluster)
+    reqs = [
+        d1.recv(rview, data.nbytes, src=0, codec=codec),
+        d0.send(sview, data.nbytes, dst=1, codec=codec),
+    ]
+    cluster.env.run(until=all_of(cluster.env, [r.event for r in reqs]))
+    return cluster, data, rview
+
+
+class TestFp16Codec:
+    def test_values_roundtrip_within_fp16_precision(self):
+        _, data, rview = run_codec_transfer()
+        np.testing.assert_allclose(rview.array, data, rtol=2e-3, atol=1e-4)
+        # ...but not exactly (it is a lossy codec).
+        assert not np.array_equal(rview.array, data)
+
+    def test_wire_bytes_halved(self):
+        cluster, data, _ = run_codec_transfer()
+        compressed_wire = cluster.nodes[0].endpoint.uplink.bytes_carried
+
+        cluster2, data2, _ = run_codec_transfer(codec=None)
+        plain_wire = cluster2.nodes[0].endpoint.uplink.bytes_carried
+        # The codec saves close to half the wire traffic.
+        assert compressed_wire < 0.6 * plain_wire
+
+    def test_codec_faster_on_slow_links(self):
+        """On a constrained link the halved payload shows up as latency."""
+        from repro.cluster import build_fpga_cluster
+        from repro.platform.base import BufferLocation
+
+        def transfer_time(codec):
+            cluster = build_fpga_cluster(
+                2, protocol="rdma", platform="sim",
+                link_rate=units.gbps(10))
+            data = payload()
+            sview = dev_buffer(cluster, 0, data)
+            rview = empty_dev_buffer(cluster, 1, N)
+            events = [
+                cluster.engine(1).call(CollectiveArgs(
+                    opcode="recv", peer=0, nbytes=data.nbytes,
+                    rbuf=rview, extra={"codec": codec} if codec else {})),
+                cluster.engine(0).call(CollectiveArgs(
+                    opcode="send", peer=1, nbytes=data.nbytes,
+                    sbuf=sview, extra={"codec": codec} if codec else {})),
+            ]
+            cluster.env.run(until=all_of(cluster.env, events))
+            return cluster.env.now
+
+        assert transfer_time("fp16") < transfer_time(None)
+
+    def test_codec_with_rendezvous_rejected(self):
+        cluster = make_cluster(2)
+        data = payload()
+        sview = dev_buffer(cluster, 0, data)
+        ev = cluster.engine(0).call(CollectiveArgs(
+            opcode="send", peer=1, nbytes=data.nbytes, sbuf=sview,
+            protocol="rndz", extra={"codec": "fp16"}))
+        with pytest.raises(CollectiveError, match="eager"):
+            cluster.env.run(until=ev)
+
+    def test_unknown_codec_rejected(self):
+        cluster = make_cluster(2)
+        ev = cluster.engine(0).call(CollectiveArgs(
+            opcode="send", peer=1, nbytes=64,
+            sbuf=empty_dev_buffer(cluster, 0, 16),
+            extra={"codec": "zstd"}))
+        with pytest.raises(CollectiveError, match="zstd"):
+            cluster.env.run(until=ev)
+
+    def test_codec_requires_plugin_compiled_in(self):
+        from repro.cclo.config_mem import CcloConfig
+        from repro.cluster import build_fpga_cluster
+        from repro.errors import CcloError
+
+        config = CcloConfig(plugins=("sum",))
+        cluster = build_fpga_cluster(2, platform="sim", cclo_config=config)
+        data = payload()
+        sview = dev_buffer(cluster, 0, data)
+        ev = cluster.engine(0).call(CollectiveArgs(
+            opcode="send", peer=1, nbytes=data.nbytes, sbuf=sview,
+            extra={"codec": "fp16"}))
+        with pytest.raises(CcloError, match="not compiled"):
+            cluster.env.run(until=ev)

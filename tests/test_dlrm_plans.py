@@ -1,0 +1,78 @@
+"""Tests of alternative DLRM deployment plans (the §6.1 scaling knobs)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.dlrm import (
+    DistributedDlrm,
+    DlrmConfig,
+    DlrmModel,
+    DlrmPlan,
+    PartitionedWeights,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPlanGeometry:
+    @pytest.mark.parametrize("cols,nodes", [(2, 6), (4, 10), (5, 12)])
+    def test_node_count_follows_columns(self, cols, nodes):
+        plan = DlrmPlan(col_parts=cols)
+        assert plan.n_nodes == nodes
+        assert len(plan.embed_nodes) == cols
+        assert len(plan.fc1_partner_nodes) == cols
+        assert plan.fc2_node == 2 * cols
+        assert plan.fc3_node == 2 * cols + 1
+
+    def test_reduce_group_is_partners_plus_fc2(self):
+        plan = DlrmPlan(col_parts=2)
+        assert plan.reduce_group == [2, 3, 4]
+
+    def test_partner_mapping(self):
+        plan = DlrmPlan(col_parts=4)
+        assert [plan.partner_of(n) for n in plan.embed_nodes] == [4, 5, 6, 7]
+
+    def test_uneven_table_split_rejected(self):
+        plan = DlrmPlan(col_parts=3)  # 100 tables do not split by 3
+        with pytest.raises(ConfigurationError, match="evenly"):
+            plan.tables_for(0, DlrmConfig())
+
+    def test_chunk_and_row_lengths(self):
+        config = DlrmConfig()
+        plan2 = DlrmPlan(col_parts=2)
+        assert plan2.chunk_len(config) == 1600
+        assert plan2.row_len(config) == 1024
+
+
+class TestPartitionedWeightsVariants:
+    @pytest.mark.parametrize("cols", [2, 4, 5])
+    def test_decomposition_exact_for_any_width(self, cols):
+        model = DlrmModel()
+        weights = PartitionedWeights(model, DlrmPlan(col_parts=cols))
+        x = np.random.default_rng(cols).standard_normal(
+            model.config.concat_len).astype(np.float32)
+        np.testing.assert_allclose(
+            weights.check_decomposition(x), model.weights[0] @ x,
+            rtol=1e-3, atol=1e-4)
+
+    def test_block_shapes(self):
+        model = DlrmModel()
+        weights = PartitionedWeights(model, DlrmPlan(col_parts=4))
+        assert weights.fc1_blocks[0][0].shape == (1024, 800)
+        assert len(weights.fc1_blocks) == 2
+        assert len(weights.fc1_blocks[0]) == 4
+
+
+class TestPipelineVariants:
+    def test_narrow_plan_runs_and_verifies(self):
+        model = DlrmModel()
+        dlrm = DistributedDlrm(model, plan=DlrmPlan(col_parts=2))
+        queries = model.make_queries(8)
+        stats = dlrm.run(queries)
+        np.testing.assert_allclose(stats.outputs,
+                                   model.forward_batch(queries),
+                                   rtol=1e-3, atol=1e-4)
+
+    def test_unsupported_row_split_rejected(self):
+        with pytest.raises(ConfigurationError, match="two-row"):
+            DistributedDlrm(DlrmModel(), plan=DlrmPlan(col_parts=4,
+                                                       row_parts=4))

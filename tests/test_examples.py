@@ -1,0 +1,39 @@
+"""Smoke tests: the fast example scripts run end-to-end and self-verify.
+
+(The two use-case examples sweep multi-minute grids; their logic is covered
+by tests/test_vecmat.py and tests/test_dlrm.py instead.)
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "streaming_kernels.py",
+    "custom_collective.py",
+    "trace_debugging.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "verified" in result.stdout
+
+
+def test_all_examples_present():
+    expected = {
+        "quickstart.py", "streaming_kernels.py", "custom_collective.py",
+        "trace_debugging.py", "collective_offload_vecmat.py",
+        "distributed_dlrm.py",
+    }
+    assert {p.name for p in EXAMPLES.glob("*.py")} == expected

@@ -1,0 +1,276 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.cclo.match import MatchTable
+from repro.collectives.util import block_ranges
+from repro.network.packet import ETHERNET_HEADER_BYTES, Segment
+from repro.sim import BandwidthResource, Environment, Monitor
+from repro.sim.resources import TokenBucket
+
+fast = settings(max_examples=60, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestBlockRanges:
+    @fast
+    @given(total=st.integers(0, 10**8), parts=st.integers(1, 64))
+    def test_blocks_cover_exactly(self, total, parts):
+        ranges = block_ranges(total, parts)
+        assert len(ranges) == parts
+        assert ranges[0][0] == 0
+        end = 0
+        for offset, length in ranges:
+            assert offset == end
+            assert length >= 0
+            end = offset + length
+        assert end == total
+
+    @fast
+    @given(total=st.integers(0, 10**8), parts=st.integers(1, 64))
+    def test_all_but_last_aligned(self, total, parts):
+        for offset, length in block_ranges(total, parts)[:-1]:
+            assert offset % 64 == 0
+            assert length % 64 == 0
+
+    @fast
+    @given(total=st.integers(64, 10**8), parts=st.integers(1, 16))
+    def test_blocks_balanced(self, total, parts):
+        """No block exceeds its fair share by more than parts alignments."""
+        lengths = [ln for _, ln in block_ranges(total, parts)]
+        fair = total / parts
+        assert max(lengths) <= fair + parts * 64
+
+
+class TestSegmentInvariants:
+    @fast
+    @given(payload=st.integers(0, 10**7), mtu=st.integers(64, 9000))
+    def test_wire_bytes_bound_payload(self, payload, mtu):
+        seg = Segment(0, 1, payload_bytes=payload, mtu=mtu)
+        assert seg.wire_bytes >= payload
+        assert seg.n_frames >= 1
+        # Header overhead never exceeds one header per MTU plus one frame.
+        max_overhead = (payload // mtu + 1) * ETHERNET_HEADER_BYTES
+        assert seg.wire_bytes - payload <= max_overhead
+
+    @fast
+    @given(payload=st.integers(1, 10**7), mtu=st.integers(64, 9000))
+    def test_frame_count_exact(self, payload, mtu):
+        seg = Segment(0, 1, payload_bytes=payload, mtu=mtu)
+        assert (seg.n_frames - 1) * mtu < payload <= seg.n_frames * mtu
+
+
+class TestMatchTableProperties:
+    @fast
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 3)),
+                    min_size=1, max_size=40))
+    def test_fifo_per_key_any_interleaving(self, ops):
+        """Any interleaving of posts and waits matches values per key FIFO."""
+        env = Environment()
+        table = MatchTable(env)
+        posted = {}
+        received = {}
+        waits = []
+        for is_post, key in ops:
+            if is_post:
+                seq = posted.setdefault(key, [])
+                value = (key, len(seq))
+                seq.append(value)
+                table.post(key, value)
+            else:
+                ev = table.wait(key)
+                waits.append((key, ev))
+        env.run()
+        for key, ev in waits:
+            if ev.triggered:
+                received.setdefault(key, []).append(ev.value)
+        for key, values in received.items():
+            assert values == posted.get(key, [])[:len(values)]
+
+    @fast
+    @given(st.integers(1, 20))
+    def test_conservation(self, n):
+        """pending + consumed == posted, always."""
+        env = Environment()
+        table = MatchTable(env)
+        for i in range(n):
+            table.post("k", i)
+        consumed = 0
+        for _ in range(n // 2):
+            ev = table.wait("k")
+            assert ev.triggered
+            consumed += 1
+        assert table.pending("k") + consumed == n
+
+
+class TestTokenBucketProperties:
+    @fast
+    @given(capacity=st.integers(1, 1000),
+           ops=st.lists(st.integers(-100, 100), max_size=50))
+    def test_never_exceeds_capacity_or_goes_negative(self, capacity, ops):
+        env = Environment()
+        bucket = TokenBucket(env, capacity)
+        for amount in ops:
+            if amount >= 0:
+                bucket.give(amount)
+            else:
+                take = min(-amount, capacity)
+                bucket.take(take)  # may queue; available never negative
+            assert 0 <= bucket.available <= capacity
+
+
+class TestBandwidthProperties:
+    @fast
+    @given(st.lists(st.integers(1, 10**6), min_size=1, max_size=20),
+           st.floats(1e3, 1e9))
+    def test_serialization_conserves_time(self, sizes, rate):
+        """Busy time equals total bytes / rate, regardless of issue order."""
+        env = Environment()
+        pipe = BandwidthResource(env, rate)
+        for nbytes in sizes:
+            pipe.transfer(nbytes)
+        env.run()
+        assert pipe.bytes_moved == sum(sizes)
+        assert pipe._busy_time == pytest.approx(sum(sizes) / rate, rel=1e-9)
+
+    @fast
+    @given(st.lists(st.integers(1, 10**6), min_size=2, max_size=20))
+    def test_fifo_completion_order(self, sizes):
+        env = Environment()
+        pipe = BandwidthResource(env, 1e6)
+        finishes = [pipe.reserve(n) for n in sizes]
+        assert finishes == sorted(finishes)
+
+
+class TestMonitorProperties:
+    @fast
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+    def test_percentiles_bounded_and_monotone(self, values):
+        mon = Monitor()
+        for i, v in enumerate(values):
+            mon.record(float(i), v)
+        p0, p50, p100 = (mon.percentile(p) for p in (0, 50, 100))
+        assert p0 == min(values)
+        assert p100 == max(values)
+        assert p0 <= p50 <= p100
+        # The mean may fall a rounding ulp outside [min, max] (summation
+        # error); assert containment up to float tolerance.
+        eps = 1e-9 * max(1.0, abs(p100), abs(p0))
+        assert min(values) - eps <= mon.mean() <= max(values) + eps
+
+
+class TestUnitsProperties:
+    @fast
+    @given(st.floats(1e-3, 1e12))
+    def test_gbps_roundtrip(self, value):
+        assert units.to_gbps(units.gbps(value)) == pytest.approx(value)
+
+    @fast
+    @given(st.integers(0, 2**50))
+    def test_pretty_size_parses_back(self, nbytes):
+        text = units.pretty_size(nbytes)
+        mult = {"GiB": units.GIB, "MiB": units.MIB, "KiB": units.KIB, "B": 1}
+        for suffix, factor in mult.items():
+            if text.endswith(suffix):
+                assert int(text[:-len(suffix)]) * factor == nbytes
+                break
+        else:
+            pytest.fail(f"unparseable: {text}")
+
+
+class TestProtocolProperties:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(sizes=st.lists(st.integers(0, 300_000), min_size=1, max_size=8))
+    def test_udp_reassembly_delivers_every_message_once(self, sizes):
+        """Any mix of message sizes (including zero-byte and multi-segment)
+        arrives exactly once and intact.  Completion *order* is not part of
+        the contract: a short datagram may overtake a long one mid-flight,
+        which is why the CCLO matches receives on (src, tag), never on
+        arrival order."""
+        from repro.network import StarTopology
+        from repro.protocols import UdpPoe
+
+        env = Environment()
+        topo = StarTopology(env)
+        a = UdpPoe(env, topo.add_endpoint(0))
+        b = UdpPoe(env, topo.add_endpoint(1))
+        got = []
+        b.on_message(lambda hdr, data: got.append((hdr.meta, hdr.nbytes)))
+        for i, nbytes in enumerate(sizes):
+            a.send_message(1, nbytes, meta=i)
+        env.run()
+        assert sorted(got) == list(enumerate(sizes))
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(nbytes=st.integers(1, 500_000))
+    def test_rdma_write_lands_full_payload(self, nbytes):
+        from repro.network import StarTopology
+        from repro.protocols import RdmaPoe
+
+        env = Environment()
+        topo = StarTopology(env)
+        a = RdmaPoe(env, topo.add_endpoint(0))
+        b = RdmaPoe(env, topo.add_endpoint(1))
+        b.on_message(lambda hdr, data: None)
+        landed = []
+        b.set_memory_writer(lambda hdr, data: landed.append(hdr.nbytes))
+        a.create_qp(1)
+        b.create_qp(0)
+        a.post_write(1, nbytes, remote_descriptor="d")
+        env.run()
+        assert landed == [nbytes]
+
+
+class TestCollectiveProperties:
+    """End-to-end functional invariants under randomized shapes."""
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(size=st.integers(2, 6), root=st.integers(0, 5),
+           n=st.sampled_from([64, 192, 256]),
+           data=st.randoms())
+    def test_bcast_any_root_any_size(self, size, root, n, data):
+        from repro.cclo.microcontroller import CollectiveArgs
+        from tests.helpers import dev_buffer, empty_dev_buffer, make_cluster
+
+        root = root % size
+        cluster = make_cluster(size)
+        rng = np.random.default_rng(data.randint(0, 2**31))
+        payload = rng.standard_normal(n).astype(np.float32)
+        views = [
+            dev_buffer(cluster, r, payload.copy()) if r == root
+            else empty_dev_buffer(cluster, r, n)
+            for r in range(size)
+        ]
+        cluster.run_collective(lambda r: CollectiveArgs(
+            opcode="bcast", root=root, nbytes=payload.nbytes, rbuf=views[r]))
+        for r in range(size):
+            np.testing.assert_array_equal(views[r].array, payload)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(size=st.integers(2, 6), n=st.sampled_from([64, 128]),
+           data=st.randoms())
+    def test_allreduce_equals_numpy_sum(self, size, n, data):
+        from repro.cclo.microcontroller import CollectiveArgs
+        from tests.helpers import dev_buffer, empty_dev_buffer, make_cluster
+
+        cluster = make_cluster(size)
+        rng = np.random.default_rng(data.randint(0, 2**31))
+        contribs = [rng.standard_normal(n).astype(np.float32)
+                    for _ in range(size)]
+        svs = [dev_buffer(cluster, r, contribs[r]) for r in range(size)]
+        rvs = [empty_dev_buffer(cluster, r, n) for r in range(size)]
+        cluster.run_collective(lambda r: CollectiveArgs(
+            opcode="allreduce", nbytes=contribs[0].nbytes, sbuf=svs[r],
+            rbuf=rvs[r], func="sum"))
+        expected = np.sum(contribs, axis=0)
+        for r in range(size):
+            np.testing.assert_allclose(rvs[r].array, expected,
+                                       rtol=1e-3, atol=1e-5)

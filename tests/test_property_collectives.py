@@ -1,0 +1,105 @@
+"""Property-based tests over the full collective set: randomized shapes,
+roots and operators, always checked against the numpy reference."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cclo.microcontroller import CollectiveArgs
+from tests.helpers import dev_buffer, empty_dev_buffer, make_cluster
+
+slow = settings(max_examples=8, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def _payloads(rng, count, n):
+    return [rng.standard_normal(n).astype(np.float32) for _ in range(count)]
+
+
+@slow
+@given(size=st.integers(2, 6), root=st.integers(0, 5),
+       n=st.sampled_from([64, 160]), data=st.randoms())
+def test_gather_property(size, root, n, data):
+    root = root % size
+    cluster = make_cluster(size)
+    rng = np.random.default_rng(data.randint(0, 2**31))
+    blocks = _payloads(rng, size, n)
+    svs = [dev_buffer(cluster, r, blocks[r]) for r in range(size)]
+    rview = empty_dev_buffer(cluster, root, n * size)
+    cluster.run_collective(lambda r: CollectiveArgs(
+        opcode="gather", root=root, nbytes=blocks[0].nbytes, sbuf=svs[r],
+        rbuf=rview if r == root else None))
+    np.testing.assert_allclose(rview.array, np.concatenate(blocks))
+
+
+@slow
+@given(size=st.integers(2, 6), root=st.integers(0, 5),
+       n=st.sampled_from([64, 160]), data=st.randoms())
+def test_scatter_property(size, root, n, data):
+    root = root % size
+    cluster = make_cluster(size)
+    rng = np.random.default_rng(data.randint(0, 2**31))
+    blocks = _payloads(rng, size, n)
+    sview = dev_buffer(cluster, root, np.concatenate(blocks))
+    rvs = [empty_dev_buffer(cluster, r, n) for r in range(size)]
+    cluster.run_collective(lambda r: CollectiveArgs(
+        opcode="scatter", root=root, nbytes=blocks[0].nbytes,
+        sbuf=sview if r == root else None, rbuf=rvs[r]))
+    for r in range(size):
+        np.testing.assert_allclose(rvs[r].array, blocks[r])
+
+
+@slow
+@given(size=st.integers(2, 5), n=st.sampled_from([64, 128]),
+       data=st.randoms())
+def test_alltoall_property(size, n, data):
+    cluster = make_cluster(size)
+    rng = np.random.default_rng(data.randint(0, 2**31))
+    sblocks = [[rng.standard_normal(n).astype(np.float32)
+                for _ in range(size)] for _ in range(size)]
+    svs = [dev_buffer(cluster, r, np.concatenate(sblocks[r]))
+           for r in range(size)]
+    rvs = [empty_dev_buffer(cluster, r, n * size) for r in range(size)]
+    cluster.run_collective(lambda r: CollectiveArgs(
+        opcode="alltoall", nbytes=n * 4, sbuf=svs[r], rbuf=rvs[r]))
+    for dst in range(size):
+        expected = np.concatenate([sblocks[s][dst] for s in range(size)])
+        np.testing.assert_allclose(rvs[dst].array, expected)
+
+
+@slow
+@given(size=st.integers(2, 6), root=st.integers(0, 5),
+       func=st.sampled_from(["sum", "max", "min"]),
+       protocol=st.sampled_from(["eager", "rndz"]),
+       data=st.randoms())
+def test_reduce_property_ops_and_protocols(size, root, func, protocol,
+                                           data):
+    root = root % size
+    cluster = make_cluster(size)
+    rng = np.random.default_rng(data.randint(0, 2**31))
+    contribs = _payloads(rng, size, 96)
+    svs = [dev_buffer(cluster, r, contribs[r]) for r in range(size)]
+    rview = empty_dev_buffer(cluster, root, 96)
+    cluster.run_collective(lambda r: CollectiveArgs(
+        opcode="reduce", root=root, nbytes=contribs[0].nbytes, sbuf=svs[r],
+        rbuf=rview if r == root else None, func=func, protocol=protocol))
+    ref = {"sum": np.sum, "max": np.max, "min": np.min}[func](
+        np.stack(contribs), axis=0)
+    np.testing.assert_allclose(rview.array, ref, rtol=1e-3, atol=1e-5)
+
+
+@slow
+@given(size=st.integers(2, 5), n=st.sampled_from([64, 128]),
+       data=st.randoms())
+def test_allgather_property(size, n, data):
+    cluster = make_cluster(size)
+    rng = np.random.default_rng(data.randint(0, 2**31))
+    blocks = _payloads(rng, size, n)
+    svs = [dev_buffer(cluster, r, blocks[r]) for r in range(size)]
+    rvs = [empty_dev_buffer(cluster, r, n * size) for r in range(size)]
+    cluster.run_collective(lambda r: CollectiveArgs(
+        opcode="allgather", nbytes=blocks[0].nbytes, sbuf=svs[r],
+        rbuf=rvs[r]))
+    expected = np.concatenate(blocks)
+    for r in range(size):
+        np.testing.assert_allclose(rvs[r].array, expected)

@@ -1,0 +1,119 @@
+"""Tests of the resource-utilization model (Table 3)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resources import (
+    U55C_TOTALS,
+    ResourceVector,
+    cclo_utilization,
+    dlrm_fc_utilization,
+    poe_utilization,
+    utilization_table,
+)
+from repro.resources.model import fc_layer_resources
+
+
+class TestVectors:
+    def test_u55c_totals_match_table3(self):
+        assert U55C_TOTALS.klut == 1303
+        assert U55C_TOTALS.dsp == 9024
+        assert U55C_TOTALS.bram == 2016
+        assert U55C_TOTALS.uram == 960
+
+    def test_addition_and_scale(self):
+        a = ResourceVector(1, 2, 3, 4)
+        b = ResourceVector(10, 20, 30, 40)
+        s = a + b
+        assert (s.klut, s.dsp, s.bram, s.uram) == (11, 22, 33, 44)
+        half = b.scale(0.5)
+        assert half.dsp == 10
+
+    def test_percent_conversion(self):
+        vec = ResourceVector(1303 / 2, 9024 / 4, 2016 / 8, 0)
+        pct = vec.as_percent_of(U55C_TOTALS)
+        assert pct["CLB kLUT"] == pytest.approx(50)
+        assert pct["DSP"] == pytest.approx(25)
+        assert pct["BRAM"] == pytest.approx(12.5)
+
+
+class TestTable3Rows:
+    def test_cclo_row(self):
+        pct = cclo_utilization().as_percent_of(U55C_TOTALS)
+        assert pct["CLB kLUT"] == pytest.approx(12.1, abs=0.2)
+        assert pct["DSP"] == pytest.approx(1.6, abs=0.1)
+        assert pct["BRAM"] == pytest.approx(5.7, abs=0.2)
+        assert pct["URAM"] == 0
+
+    def test_poe_rows(self):
+        tcp = poe_utilization("tcp").as_percent_of(U55C_TOTALS)
+        rdma = poe_utilization("rdma").as_percent_of(U55C_TOTALS)
+        assert tcp["CLB kLUT"] == pytest.approx(19.8, abs=0.2)
+        assert tcp["BRAM"] == pytest.approx(10.6, abs=0.2)
+        assert rdma["CLB kLUT"] == pytest.approx(13.0, abs=0.2)
+        assert rdma["BRAM"] == pytest.approx(5.3, abs=0.2)
+
+    def test_tcp_poe_is_most_expensive(self):
+        """Paper: "the TCP POE being the most resource-intensive"."""
+        assert (poe_utilization("tcp").klut
+                > poe_utilization("rdma").klut
+                > poe_utilization("udp").klut)
+
+    def test_dlrm_rows(self):
+        fc1 = dlrm_fc_utilization("fc1").as_percent_of(U55C_TOTALS)
+        assert fc1["CLB kLUT"] == pytest.approx(278.1, abs=1.0)
+        assert fc1["DSP"] == pytest.approx(580.1, abs=1.0)
+        assert fc1["URAM"] == pytest.approx(798.3, abs=1.0)
+        fc3 = dlrm_fc_utilization("fc3").as_percent_of(U55C_TOTALS)
+        assert fc3["DSP"] == pytest.approx(16.1, abs=0.5)
+
+    def test_fc1_exceeds_single_fpga_but_fits_eight(self):
+        fc1 = dlrm_fc_utilization("fc1").as_percent_of(U55C_TOTALS)
+        assert fc1["DSP"] > 100       # does not fit one U55C
+        assert fc1["URAM"] < 800      # fits the 8-FPGA decomposition budget
+
+    def test_plugin_stripping_saves_resources(self):
+        """§6.1: non-reducing nodes remove the streaming reduction plugins."""
+        full = cclo_utilization(plugins_enabled=True)
+        stripped = cclo_utilization(plugins_enabled=False)
+        assert stripped.klut < full.klut
+        assert stripped.dsp < full.dsp
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            poe_utilization("quic")
+        with pytest.raises(ConfigurationError):
+            dlrm_fc_utilization("fc9")
+
+
+class TestEstimator:
+    def test_fc_estimator_monotone_in_lanes(self):
+        small = fc_layer_resources(1024, 1024, lanes=256)
+        large = fc_layer_resources(1024, 1024, lanes=1024)
+        assert large.dsp > small.dsp
+        assert large.klut > small.klut
+
+    def test_fc_estimator_weights_drive_uram(self):
+        narrow = fc_layer_resources(256, 256, lanes=128)
+        wide = fc_layer_resources(4096, 4096, lanes=128)
+        assert wide.uram > narrow.uram
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fc_layer_resources(0, 10, 1)
+
+
+class TestTable:
+    def test_full_table_structure(self):
+        rows = utilization_table()
+        names = [name for name, _ in rows]
+        assert names[0] == "U55C(100%)"
+        assert "CCLO" in names
+        assert "TCP POE" in names and "RDMA POE" in names
+        assert "DLRM FC1" in names and "DLRM FC3" in names
+        for _, pct in rows:
+            assert set(pct) == {"CLB kLUT", "DSP", "BRAM", "URAM"}
+
+    def test_table_without_dlrm(self):
+        rows = utilization_table(include_dlrm=False)
+        assert all(not name.startswith("DLRM") for name, _ in rows)

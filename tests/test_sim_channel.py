@@ -1,0 +1,161 @@
+"""Unit tests for FIFO channels (AXI-Stream analogue)."""
+
+import pytest
+
+from repro.sim import Channel, ChannelClosed, Environment
+
+
+def run_proc(env, gen):
+    p = env.process(gen)
+    return env.run(until=p)
+
+
+def test_put_then_get():
+    env = Environment()
+    ch = Channel(env)
+
+    def proc():
+        yield ch.put("word")
+        item = yield ch.get()
+        return item
+
+    assert run_proc(env, proc()) == "word"
+
+
+def test_get_blocks_until_put():
+    env = Environment()
+    ch = Channel(env)
+    times = {}
+
+    def consumer():
+        item = yield ch.get()
+        times["got"] = (env.now, item)
+
+    def producer():
+        yield env.timeout(3)
+        yield ch.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert times["got"] == (3, "late")
+
+
+def test_fifo_ordering():
+    env = Environment()
+    ch = Channel(env)
+    got = []
+
+    def producer():
+        for i in range(5):
+            yield ch.put(i)
+
+    def consumer():
+        for _ in range(5):
+            item = yield ch.get()
+            got.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_backpressure_blocks_putter():
+    env = Environment()
+    ch = Channel(env, capacity=1)
+    times = []
+
+    def producer():
+        yield ch.put("a")
+        times.append(("a", env.now))
+        yield ch.put("b")  # blocks until consumer drains
+        times.append(("b", env.now))
+
+    def consumer():
+        yield env.timeout(10)
+        yield ch.get()
+        yield ch.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert times[0] == ("a", 0)
+    assert times[1][1] == pytest.approx(10)
+
+
+def test_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Channel(env, capacity=0)
+
+
+def test_try_put_try_get():
+    env = Environment()
+    ch = Channel(env, capacity=1)
+    assert ch.try_put("x") is True
+    assert ch.try_put("y") is False
+    ok, item = ch.try_get()
+    assert ok and item == "x"
+    ok, item = ch.try_get()
+    assert not ok and item is None
+
+
+def test_peek_does_not_consume():
+    env = Environment()
+    ch = Channel(env)
+    ch.try_put("head")
+    assert ch.peek() == "head"
+    assert len(ch) == 1
+
+
+def test_close_fails_pending_getters():
+    env = Environment()
+    ch = Channel(env)
+    caught = {}
+
+    def consumer():
+        try:
+            yield ch.get()
+        except ChannelClosed:
+            caught["closed"] = True
+
+    env.process(consumer())
+
+    def closer():
+        yield env.timeout(1)
+        ch.close()
+
+    env.process(closer())
+    env.run()
+    assert caught["closed"]
+
+
+def test_put_on_closed_channel_raises():
+    env = Environment()
+    ch = Channel(env)
+    ch.close()
+    with pytest.raises(ChannelClosed):
+        ch.put("x")
+
+
+def test_direct_handoff_to_waiting_getter():
+    env = Environment()
+    ch = Channel(env, capacity=1)
+    order = []
+
+    def consumer(tag):
+        item = yield ch.get()
+        order.append((tag, item))
+
+    env.process(consumer("first"))
+    env.process(consumer("second"))
+
+    def producer():
+        yield env.timeout(1)
+        yield ch.put(1)
+        yield ch.put(2)
+
+    env.process(producer())
+    env.run()
+    assert order == [("first", 1), ("second", 2)]

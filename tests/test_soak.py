@@ -1,0 +1,130 @@
+"""Soak test: randomized collective workloads, verified end to end.
+
+A communication library's classic failure mode is state leaking between
+operations (stale Rx buffers, tag collisions, scratch leaks).  This test
+drives long randomized sequences of mixed collectives over one cluster and
+checks every result against numpy, then inspects the engines for leaks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.driver import attach_drivers
+from repro.sim import all_of
+from tests.helpers import make_cluster
+
+N = 64  # elements per block
+
+
+def random_workload(rng, size):
+    ops = ["bcast", "allreduce", "gather", "scatter", "allgather",
+           "alltoall", "barrier", "reduce"]
+    return [rng.choice(ops) for _ in range(24)]
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("protocol", ["rdma", "tcp"])
+def test_soak_random_collective_sequences(seed, protocol):
+    rng = np.random.default_rng(seed)
+    size = int(rng.integers(3, 7))
+    cluster = make_cluster(size, protocol=protocol, platform="sim")
+    drivers = attach_drivers(cluster)
+    env = cluster.env
+
+    def fresh(n=N):
+        return rng.standard_normal(n).astype(np.float32)
+
+    for step, op in enumerate(random_workload(rng, size)):
+        root = int(rng.integers(0, size))
+        requests = []
+        check = None
+
+        if op == "barrier":
+            requests = [d.barrier(sync=False) for d in drivers]
+        elif op == "bcast":
+            payload = fresh()
+            bufs = [d.wrap(payload.copy() if r == root
+                           else np.zeros(N, np.float32))
+                    for r, d in enumerate(drivers)]
+            requests = [d.bcast(bufs[r], payload.nbytes, root)
+                        for r, d in enumerate(drivers)]
+            check = lambda: all(
+                np.array_equal(bufs[r].array, payload) for r in range(size))
+        elif op in ("reduce", "allreduce"):
+            contribs = [fresh() for _ in range(size)]
+            outs = [d.wrap(np.zeros(N, np.float32)) for d in drivers]
+            if op == "reduce":
+                requests = [
+                    d.reduce(d.wrap(contribs[r]),
+                             outs[r] if r == root else None,
+                             contribs[r].nbytes, root)
+                    for r, d in enumerate(drivers)
+                ]
+                check = lambda: np.allclose(
+                    outs[root].array, np.sum(contribs, axis=0),
+                    rtol=1e-3, atol=1e-4)
+            else:
+                requests = [
+                    d.allreduce(d.wrap(contribs[r]), outs[r],
+                                contribs[r].nbytes)
+                    for r, d in enumerate(drivers)
+                ]
+                check = lambda: all(
+                    np.allclose(outs[r].array, np.sum(contribs, axis=0),
+                                rtol=1e-3, atol=1e-4)
+                    for r in range(size))
+        elif op == "gather":
+            blocks = [fresh() for _ in range(size)]
+            out = drivers[root].wrap(np.zeros(N * size, np.float32))
+            requests = [
+                d.gather(d.wrap(blocks[r]), out if r == root else None,
+                         blocks[r].nbytes, root)
+                for r, d in enumerate(drivers)
+            ]
+            check = lambda: np.allclose(out.array, np.concatenate(blocks))
+        elif op == "scatter":
+            blocks = [fresh() for _ in range(size)]
+            sbuf = drivers[root].wrap(np.concatenate(blocks))
+            outs = [d.wrap(np.zeros(N, np.float32)) for d in drivers]
+            requests = [
+                d.scatter(sbuf if r == root else None, outs[r],
+                          blocks[0].nbytes, root)
+                for r, d in enumerate(drivers)
+            ]
+            check = lambda: all(
+                np.allclose(outs[r].array, blocks[r]) for r in range(size))
+        elif op == "allgather":
+            blocks = [fresh() for _ in range(size)]
+            outs = [d.wrap(np.zeros(N * size, np.float32)) for d in drivers]
+            requests = [
+                d.allgather(d.wrap(blocks[r]), outs[r], blocks[r].nbytes)
+                for r, d in enumerate(drivers)
+            ]
+            check = lambda: all(
+                np.allclose(outs[r].array, np.concatenate(blocks))
+                for r in range(size))
+        elif op == "alltoall":
+            sblocks = [[fresh() for _ in range(size)] for _ in range(size)]
+            outs = [d.wrap(np.zeros(N * size, np.float32)) for d in drivers]
+            requests = [
+                d.alltoall(d.wrap(np.concatenate(sblocks[r])), outs[r], N * 4)
+                for r, d in enumerate(drivers)
+            ]
+            check = lambda: all(
+                np.allclose(outs[dst].array,
+                            np.concatenate([sblocks[s][dst]
+                                            for s in range(size)]))
+                for dst in range(size))
+
+        env.run(until=all_of(env, [req.event for req in requests]))
+        if check is not None:
+            assert check(), f"step {step}: {op} produced a wrong result"
+
+    # No state left behind anywhere in the cluster.
+    for node in cluster.nodes:
+        engine = node.engine
+        assert engine.rbm.free_bytes == engine.config.rx_pool_bytes, \
+            "leaked Rx buffers"
+        assert not engine._rndz_targets, "leaked rendezvous targets"
+        assert len(engine.kernel_data_in) == 0
+        assert len(engine.kernel_data_out) == 0

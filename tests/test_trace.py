@@ -1,0 +1,118 @@
+"""Tests of the tracing subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.cclo.microcontroller import CollectiveArgs
+from repro.sim import all_of
+from repro.trace import TraceEvent, Tracer
+from tests.helpers import dev_buffer, empty_dev_buffer, make_cluster
+
+
+def run_traced_sendrecv():
+    cluster = make_cluster(2)
+    tracer = Tracer()
+    for node in cluster.nodes:
+        node.engine.attach_tracer(tracer)
+    payload = np.ones(128, np.float32)
+    sview = dev_buffer(cluster, 0, payload)
+    rview = empty_dev_buffer(cluster, 1, 128)
+    events = [
+        cluster.engine(1).call(CollectiveArgs(
+            opcode="recv", peer=0, nbytes=payload.nbytes, rbuf=rview)),
+        cluster.engine(0).call(CollectiveArgs(
+            opcode="send", peer=1, nbytes=payload.nbytes, sbuf=sview)),
+    ]
+    cluster.env.run(until=all_of(cluster.env, events))
+    return tracer
+
+
+class TestTracerCore:
+    def test_record_and_len(self):
+        tracer = Tracer()
+        tracer.record(1.0, "uc", "dispatch", opcode="send")
+        tracer.record(2.0, "dmp", "issue")
+        assert len(tracer) == 2
+
+    def test_capacity_bound_drops(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.record(float(i), "x", "e")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_filter_by_component_and_event(self):
+        tracer = Tracer()
+        tracer.record(0.0, "uc", "dispatch")
+        tracer.record(1.0, "uc", "complete")
+        tracer.record(2.0, "dmp", "dispatch")
+        assert len(tracer.filter(component="uc")) == 2
+        assert len(tracer.filter(event="dispatch")) == 2
+        assert len(tracer.filter(component="uc", event="dispatch")) == 1
+
+    def test_summary_counts(self):
+        tracer = Tracer()
+        for _ in range(3):
+            tracer.record(0.0, "uc", "dispatch")
+        tracer.record(0.0, "dmp", "issue")
+        assert tracer.summary() == {"uc.dispatch": 3, "dmp.issue": 1}
+
+    def test_spans_pairing(self):
+        tracer = Tracer()
+        tracer.record(1.0, "dmp", "issue")
+        tracer.record(3.0, "dmp", "retire")
+        tracer.record(4.0, "dmp", "issue")
+        tracer.record(9.0, "dmp", "retire")
+        assert tracer.spans("dmp", "issue", "retire") == [2.0, 5.0]
+
+    def test_event_rendering(self):
+        ev = TraceEvent(1e-6, "cclo0.uc", "dispatch", (("opcode", "send"),))
+        text = str(ev)
+        assert "cclo0.uc.dispatch" in text and "opcode=send" in text
+
+    def test_clear(self):
+        tracer = Tracer(capacity=1)
+        tracer.record(0.0, "a", "b")
+        tracer.record(0.0, "a", "b")
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.dropped == 0
+
+    def test_to_csv(self, tmp_path):
+        tracer = Tracer()
+        tracer.record(1.5e-6, "uc", "dispatch", opcode="send")
+        path = tmp_path / "trace.csv"
+        assert tracer.to_csv(str(path)) == 1
+        content = path.read_text()
+        assert "uc" in content and "opcode=send" in content
+
+
+class TestEngineIntegration:
+    def test_sendrecv_produces_expected_events(self):
+        tracer = run_traced_sendrecv()
+        summary = tracer.summary()
+        uc_dispatches = [v for k, v in summary.items()
+                         if k.endswith("uc.dispatch")]
+        assert sum(uc_dispatches) == 2  # one send + one recv command
+        assert any("dmp.issue" in k for k in summary)
+        assert any("dmp.retire" in k for k in summary)
+
+    def test_events_time_ordered(self):
+        tracer = run_traced_sendrecv()
+        times = [ev.time for ev in tracer]
+        assert times == sorted(times)
+
+    def test_dmp_spans_positive(self):
+        tracer = run_traced_sendrecv()
+        components = {ev.component for ev in tracer if "dmp" in ev.component}
+        for comp in components:
+            for span in tracer.spans(comp, "issue", "retire"):
+                assert span > 0
+
+    def test_untraced_engine_has_no_overhead_path(self):
+        cluster = make_cluster(2)
+        assert cluster.engine(0).tracer is None
+        cluster.engine(0).trace("uc", "noop")  # must be a no-op, not crash

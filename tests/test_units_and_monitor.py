@@ -1,0 +1,94 @@
+"""Unit tests for unit helpers and the Monitor."""
+
+import pytest
+
+from repro import units
+from repro.sim import Monitor
+
+
+class TestUnits:
+    def test_time_conversions(self):
+        assert units.ns(1) == pytest.approx(1e-9)
+        assert units.us(2.5) == pytest.approx(2.5e-6)
+        assert units.ms(3) == pytest.approx(3e-3)
+        assert units.to_us(1e-6) == pytest.approx(1.0)
+        assert units.to_ms(1e-3) == pytest.approx(1.0)
+
+    def test_bandwidth_conversions(self):
+        assert units.gbps(100) == pytest.approx(12.5e9)
+        assert units.to_gbps(12.5e9) == pytest.approx(100.0)
+        assert units.gibps(1) == pytest.approx(1024**3)
+
+    def test_gbps_roundtrip(self):
+        assert units.to_gbps(units.gbps(42.0)) == pytest.approx(42.0)
+
+    def test_cycles(self):
+        assert units.cycles(250, 250e6) == pytest.approx(1e-6)
+        with pytest.raises(ValueError):
+            units.cycles(1, 0)
+
+    def test_pretty_size(self):
+        assert units.pretty_size(512) == "512B"
+        assert units.pretty_size(1024) == "1KiB"
+        assert units.pretty_size(3 * 1024**2) == "3MiB"
+        assert units.pretty_size(2 * 1024**3) == "2GiB"
+        with pytest.raises(ValueError):
+            units.pretty_size(-1)
+
+    def test_size_constants(self):
+        assert units.KIB == 1024
+        assert units.MIB == 1024**2
+        assert units.GIB == 1024**3
+
+
+class TestMonitor:
+    def test_record_and_stats(self):
+        mon = Monitor("lat")
+        for i, v in enumerate([1.0, 2.0, 3.0, 4.0]):
+            mon.record(float(i), v)
+        assert len(mon) == 4
+        assert mon.mean() == pytest.approx(2.5)
+        assert mon.minimum() == 1.0
+        assert mon.maximum() == 4.0
+        assert mon.percentile(50) == pytest.approx(2.5)
+        assert mon.percentile(0) == 1.0
+        assert mon.percentile(100) == 4.0
+
+    def test_stddev(self):
+        mon = Monitor()
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            mon.record(0.0, v)
+        assert mon.stddev() == pytest.approx(2.138, abs=1e-3)
+
+    def test_single_sample_stddev_zero(self):
+        mon = Monitor()
+        mon.record(0.0, 1.0)
+        assert mon.stddev() == 0.0
+
+    def test_empty_monitor_raises(self):
+        mon = Monitor()
+        with pytest.raises(ValueError):
+            mon.mean()
+        with pytest.raises(ValueError):
+            mon.percentile(50)
+
+    def test_bad_percentile_rejected(self):
+        mon = Monitor()
+        mon.record(0.0, 1.0)
+        with pytest.raises(ValueError):
+            mon.percentile(101)
+
+    def test_summary_keys(self):
+        mon = Monitor("x")
+        mon.record(0.0, 1.0)
+        mon.record(1.0, 3.0)
+        s = mon.summary()
+        assert s["count"] == 2
+        assert s["mean"] == pytest.approx(2.0)
+        assert set(s) == {"name", "count", "mean", "min", "max", "p50", "p99"}
+
+    def test_clear(self):
+        mon = Monitor()
+        mon.record(0.0, 1.0)
+        mon.clear()
+        assert len(mon) == 0
