@@ -5,11 +5,44 @@ the experiment through :mod:`repro.bench.harness` inside pytest-benchmark
 (so wall-clock cost is tracked), prints the regenerated rows/series, and
 asserts the paper's qualitative shape.  Simulated-time metrics are attached
 to ``benchmark.extra_info`` for machine consumption.
+
+Benchmarks that accept a ``runner=`` keyword share one
+:class:`~repro.bench.runner.SweepRunner` per session via the
+``sweep_runner`` fixture.  It honours two environment variables:
+
+- ``BENCH_JOBS``  — fan sweep points out over N worker processes;
+- ``BENCH_CACHE`` — memoize points in the given cache directory
+  (off by default so benchmark wall-clock numbers stay honest).
 """
 
+import os
 import sys
+
+import pytest
+
+from repro.bench.cache import ResultCache
+from repro.bench.runner import SweepRunner
 
 
 def emit(text: str) -> None:
     """Print a regenerated artifact so it lands in the benchmark log."""
     sys.stdout.write("\n" + text + "\n")
+
+
+@pytest.fixture(scope="session")
+def sweep_runner():
+    """One SweepRunner per benchmark session (jobs/cache from the env)."""
+    jobs = int(os.environ.get("BENCH_JOBS", "1"))
+    cache_dir = os.environ.get("BENCH_CACHE", "")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return SweepRunner(jobs=jobs, cache=cache)
+
+
+def attach_point_metrics(benchmark, runner: SweepRunner,
+                         n_latest: int) -> None:
+    """Record the latest *n_latest* points' sim metadata on the benchmark."""
+    latest = runner.records[-n_latest:]
+    benchmark.extra_info["points"] = len(latest)
+    benchmark.extra_info["sim_s"] = sum(r.sim_s for r in latest)
+    benchmark.extra_info["sim_events"] = sum(r.events for r in latest)
+    benchmark.extra_info["cached_points"] = sum(r.cached for r in latest)

@@ -5,14 +5,16 @@ PCIe write + read (~2-3 us); XRT host invocation is significantly higher.
 """
 
 from repro.bench import format_rows, run_fig08_invocation_latency
-from conftest import emit
+from conftest import attach_point_metrics, emit
 
 
-def test_fig08_invocation_latency(benchmark):
+def test_fig08_invocation_latency(benchmark, sweep_runner):
     rows = benchmark.pedantic(run_fig08_invocation_latency,
+                              kwargs={"runner": sweep_runner},
                               rounds=1, iterations=1)
     emit(format_rows(rows, ["caller", "latency_us"],
                      title="Figure 8 — CCLO NOP invocation latency (us)"))
+    attach_point_metrics(benchmark, sweep_runner, n_latest=3)
     by_caller = {r["caller"]: r["latency_us"] for r in rows}
     for caller, value in by_caller.items():
         benchmark.extra_info[caller] = value

@@ -10,14 +10,16 @@ Paper shape:
 """
 
 from repro.bench import format_series, run_fig12_reduce_scalability
-from conftest import emit
+from conftest import attach_point_metrics, emit
 
 
-def test_fig12_reduce_scalability(benchmark):
+def test_fig12_reduce_scalability(benchmark, sweep_runner):
     series = benchmark.pedantic(run_fig12_reduce_scalability,
+                                kwargs={"runner": sweep_runner},
                                 rounds=1, iterations=1)
     emit(format_series(series, "ranks",
                        title="Figure 12 — reduce latency vs ranks (us)"))
+    attach_point_metrics(benchmark, sweep_runner, n_latest=28)
 
     accl_small = series["accl_8KiB"]
     accl_large = series["accl_128KiB"]

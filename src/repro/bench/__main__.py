@@ -4,31 +4,53 @@ Usage::
 
     python -m repro.bench list
     python -m repro.bench fig07 fig08 tab03
-    python -m repro.bench all
+    python -m repro.bench all --jobs 8
+    python -m repro.bench all --no-cache --json BENCH_results.json
+
+Options::
+
+    --jobs N      fan sweep points out over N worker processes (default 1,
+                  the fully sequential path); results are row-for-row
+                  identical at any N
+    --cache DIR   on-disk result cache directory (default .bench_cache);
+                  points are keyed by (artifact, parameters, calibration)
+                  so a warm re-run only re-renders tables
+    --no-cache    disable the cache for this run
+    --json OUT    write the per-point trajectory (wall-clock, simulated
+                  time, event counts) to OUT; ``all`` writes
+                  BENCH_results.json by default
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
+import time
 
 from repro.bench import formats, harness
+from repro.bench.cache import ResultCache
+from repro.bench.runner import SweepRunner
+
+DEFAULT_CACHE_DIR = ".bench_cache"
+DEFAULT_JSON_OUT = "BENCH_results.json"
 
 
-def _fig07():
-    rows = harness.run_fig07_sendrecv_throughput()
+def _fig07(runner):
+    rows = harness.run_fig07_sendrecv_throughput(runner=runner)
     return formats.format_rows(
         rows, ["size", "accl_f2f_gbps", "accl_h2h_gbps", "mpi_rdma_gbps"],
         title="Figure 7 — send/recv throughput (Gb/s)")
 
 
-def _fig08():
-    rows = harness.run_fig08_invocation_latency()
+def _fig08(runner):
+    rows = harness.run_fig08_invocation_latency(runner=runner)
     return formats.format_rows(rows, ["caller", "latency_us"],
                                title="Figure 8 — invocation latency (us)")
 
 
-def _fig09():
-    rows = harness.run_fig09_f2f_breakdown()
+def _fig09(runner):
+    rows = harness.run_fig09_f2f_breakdown(runner=runner)
     return formats.format_rows(
         rows, ["size", "pcie_in", "collective", "pcie_out", "invocation",
                "total"],
@@ -47,24 +69,24 @@ def _collective_table(result, title):
         title=title)
 
 
-def _fig10():
-    return _collective_table(harness.run_fig10_f2f_collectives(),
+def _fig10(runner):
+    return _collective_table(harness.run_fig10_f2f_collectives(runner=runner),
                              "Figure 10 — F2F collectives, 8 ranks (us)")
 
 
-def _fig11():
-    return _collective_table(harness.run_fig11_h2h_collectives(),
+def _fig11(runner):
+    return _collective_table(harness.run_fig11_h2h_collectives(runner=runner),
                              "Figure 11 — H2H collectives, 8 ranks (us)")
 
 
-def _fig12():
-    series = harness.run_fig12_reduce_scalability()
+def _fig12(runner):
+    series = harness.run_fig12_reduce_scalability(runner=runner)
     return formats.format_series(
         series, "ranks", title="Figure 12 — reduce latency vs ranks (us)")
 
 
-def _fig13():
-    result = harness.run_fig13_tcp_xrt()
+def _fig13(runner):
+    result = harness.run_fig13_tcp_xrt(runner=runner)
     rows = []
     for opcode, by_size in result.items():
         for size_label, vals in by_size.items():
@@ -75,16 +97,16 @@ def _fig13():
         title="Figure 13 — TCP on XRT, 4 ranks (us)")
 
 
-def _fig16():
-    rows = harness.run_fig16_vecmat()
+def _fig16(runner):
+    rows = harness.run_fig16_vecmat(runner=runner)
     return formats.format_rows(
         rows, ["fc_size", "ranks", "backend", "compute_us", "reduce_us",
                "speedup", "correct"],
         title="Figure 16 — distributed vector-matrix multiplication")
 
 
-def _fig17():
-    result = harness.run_fig17_dlrm()
+def _fig17(runner):
+    result = harness.run_fig17_dlrm(runner=runner)
     parts = [formats.format_rows(
         result["cpu"], ["batch", "latency_ms", "throughput"],
         title="Figure 17 — CPU baseline")]
@@ -95,15 +117,22 @@ def _fig17():
     return "\n\n".join(parts)
 
 
-def _tab01():
-    rows = harness.run_tab01_algorithm_table()
+def _tab01(runner):
+    rows = harness.run_tab01_algorithm_table(runner=runner)
     return formats.format_rows(
         rows, ["collective", "eager", "rndz_small", "rndz_large"],
         title="Table 1 — algorithm selection")
 
 
-def _tab03():
-    rows = harness.run_tab03_resources()
+def _tab02(runner):
+    rows = harness.run_tab02_dlrm_config(runner=runner)
+    return formats.format_rows(
+        rows, ["Tables", "Concat Vec Len", "FC Layers", "Embed Size"],
+        title="Table 2 — target recommendation model")
+
+
+def _tab03(runner):
+    rows = harness.run_tab03_resources(runner=runner)
     return formats.format_rows(
         rows, ["component", "CLB kLUT", "DSP", "BRAM", "URAM"],
         title="Table 3 — resource utilization (% of U55C)")
@@ -112,25 +141,65 @@ def _tab03():
 ARTIFACTS = {
     "fig07": _fig07, "fig08": _fig08, "fig09": _fig09, "fig10": _fig10,
     "fig11": _fig11, "fig12": _fig12, "fig13": _fig13, "fig16": _fig16,
-    "fig17": _fig17, "tab01": _tab01, "tab03": _tab03,
+    "fig17": _fig17, "tab01": _tab01, "tab02": _tab02, "tab03": _tab03,
 }
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", add_help=True,
+        description="Regenerate evaluation artifacts.")
+    parser.add_argument("names", nargs="*",
+                        help="artifact names, 'all', or 'list'")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes for the sweep (default: 1)")
+    parser.add_argument("--cache", default=DEFAULT_CACHE_DIR, metavar="DIR",
+                        help="result cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable result caching for this run")
+    parser.add_argument("--json", dest="json_out", nargs="?",
+                        const=DEFAULT_JSON_OUT, default=None, metavar="OUT",
+                        help="write the per-point trajectory to OUT "
+                             f"(default when given: {DEFAULT_JSON_OUT})")
+    return parser
 
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if not argv or argv[0] in ("-h", "--help", "list"):
+    args = _parser().parse_args(argv)
+    if not args.names or args.names[0] == "list":
         print(__doc__.strip())
         print("\navailable artifacts:", ", ".join(sorted(ARTIFACTS)))
         return 0
-    names = sorted(ARTIFACTS) if argv == ["all"] else argv
+    run_all = args.names == ["all"]
+    names = sorted(ARTIFACTS) if run_all else args.names
     unknown = [n for n in names if n not in ARTIFACTS]
     if unknown:
         print(f"unknown artifacts: {', '.join(unknown)}", file=sys.stderr)
         print("available:", ", ".join(sorted(ARTIFACTS)), file=sys.stderr)
         return 2
+
+    cache = None if args.no_cache else ResultCache(args.cache)
+    runner = SweepRunner(jobs=args.jobs, cache=cache)
+    start = time.perf_counter()
     for name in names:
-        print(ARTIFACTS[name]())
+        print(ARTIFACTS[name](runner))
         print()
+
+    json_out = args.json_out or (DEFAULT_JSON_OUT if run_all else None)
+    if json_out:
+        trajectory = runner.trajectory()
+        trajectory["cli"] = {
+            "artifacts": names,
+            "wall_s": time.perf_counter() - start,
+            "cache_hits": 0 if cache is None else cache.hits,
+            "cache_misses": 0 if cache is None else cache.misses,
+        }
+        with open(json_out, "w") as fh:
+            json.dump(trajectory, fh, indent=2, sort_keys=True)
+        print(f"wrote trajectory for {len(runner.records)} points "
+              f"to {json_out}", file=sys.stderr)
     return 0
 
 

@@ -4,6 +4,14 @@ All functions build fresh simulated clusters, run the workload, and return
 plain rows/series.  Message payloads are timing-only here (no numpy arrays
 attached): functional correctness is covered by the test suite, and the
 benchmarks sweep into the hundreds of megabytes.
+
+Each artifact is expressed as a list of independent
+:class:`~repro.bench.runner.SweepPoint` work items — one hermetic cluster
+per point — executed through a :class:`~repro.bench.runner.SweepRunner`.
+Every ``run_*`` function accepts an optional ``runner``; without one it
+runs sequentially and uncached, exactly as before.  The point *kernels*
+(registered with :func:`~repro.bench.runner.point_kernel`) take only
+primitive parameters so they pickle into pool workers.
 """
 
 from __future__ import annotations
@@ -13,10 +21,9 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro import units
-from repro.apps.dlrm import CpuDlrmBaseline, DistributedDlrm, DlrmModel
-from repro.apps.vecmat import run_distributed_vecmat
 from repro.baselines import F2fMpiModel, build_accl_v1_cluster, build_mpi_cluster
 from repro.baselines import algorithms as mpi_alg
+from repro.bench.runner import SweepPoint, SweepRunner, point_kernel
 from repro.cclo.config_mem import CommunicatorConfig
 from repro.cclo.microcontroller import CollectiveArgs
 from repro.cluster import FpgaCluster, build_fpga_cluster
@@ -188,6 +195,200 @@ def mpi_f2f_collective_time(opcode: str, size: int, n_ranks: int = 8,
 
 
 # ---------------------------------------------------------------------------
+# sweep-point kernels (picklable: primitive parameters only)
+# ---------------------------------------------------------------------------
+
+@point_kernel("accl_collective")
+def _kernel_accl_collective(opcode: str, size: int, n_nodes: int = 8,
+                            protocol: str = "rdma", platform: str = "coyote",
+                            location: str = "device",
+                            sync_protocol: Optional[str] = None,
+                            algorithm: Optional[str] = None,
+                            via_driver: bool = False,
+                            engine: str = "accl+") -> float:
+    builder = (build_fpga_cluster if engine == "accl+"
+               else (lambda n, **kw: build_accl_v1_cluster(n)))
+    return accl_collective_time(
+        opcode, size, n_nodes=n_nodes, protocol=protocol, platform=platform,
+        location=BufferLocation(location), sync_protocol=sync_protocol,
+        algorithm=algorithm, via_driver=via_driver, cluster_builder=builder)
+
+
+@point_kernel("accl_best_protocol")
+def _kernel_accl_best_protocol(opcode: str, size: int, n_nodes: int = 8,
+                               protocol: str = "rdma",
+                               platform: str = "coyote",
+                               location: str = "device",
+                               via_driver: bool = False) -> float:
+    return accl_best_protocol_time(
+        opcode, size, n_nodes=n_nodes, protocol=protocol, platform=platform,
+        location=BufferLocation(location), via_driver=via_driver)
+
+
+@point_kernel("mpi_collective")
+def _kernel_mpi_collective(opcode: str, size: int, n_ranks: int = 8,
+                           library: str = "openmpi",
+                           transport: str = "rdma") -> float:
+    return mpi_collective_time(opcode, size, n_ranks,
+                               library=library, transport=transport)
+
+
+@point_kernel("mpi_f2f_collective")
+def _kernel_mpi_f2f_collective(opcode: str, size: int,
+                               n_ranks: int = 8) -> float:
+    return mpi_f2f_collective_time(opcode, size, n_ranks)
+
+
+@point_kernel("accl_p2p")
+def _kernel_accl_p2p(size: int, n_msgs: int, location: str) -> float:
+    return _accl_p2p_time(size, n_msgs, BufferLocation(location))
+
+
+@point_kernel("mpi_p2p")
+def _kernel_mpi_p2p(size: int, n_msgs: int) -> float:
+    return _mpi_p2p_time(size, n_msgs)
+
+
+@point_kernel("fig08_host_nop")
+def _kernel_fig08_host_nop(platform: str, protocol: str,
+                           repeats: int) -> float:
+    cluster = build_fpga_cluster(2, protocol=protocol, platform=platform)
+    driver = attach_drivers(cluster)[0]
+    times = []
+    for _ in range(repeats):
+        req = driver.nop()
+        req.wait()
+        times.append(req.duration)
+    return float(np.mean(times))
+
+
+@point_kernel("fig08_kernel_nop")
+def _kernel_fig08_kernel_nop(repeats: int) -> float:
+    cluster = build_fpga_cluster(2, protocol="rdma", platform="coyote")
+    engine = cluster.engine(0)
+    env = cluster.env
+    times = []
+
+    def proc():
+        for _ in range(repeats):
+            start = env.now
+            yield engine.platform.invoke_from_kernel()
+            yield engine.call(CollectiveArgs(opcode="nop"))
+            times.append(env.now - start)
+
+    env.run(until=env.process(proc()))
+    return float(np.mean(times))
+
+
+@point_kernel("fig09_breakdown")
+def _kernel_fig09_breakdown(size: int, n_ranks: int) -> Dict[str, float]:
+    cluster = build_mpi_cluster(n_ranks)
+    model = F2fMpiModel(cluster)
+    breakdown = model.run(
+        lambda me: mpi_alg.mpi_bcast(me, None, size, 0, 0),
+        in_bytes=lambda r: size if r == 0 else 0,
+        out_bytes=lambda r: 0 if r == 0 else size,
+    )
+    return dict(breakdown.as_dict())
+
+
+@point_kernel("vecmat")
+def _kernel_vecmat(fc_size: int, ranks: int, backend: str) -> dict:
+    from repro.apps.vecmat import run_distributed_vecmat
+
+    r = run_distributed_vecmat(fc_size, fc_size, ranks, backend)
+    return {
+        "fc_size": fc_size,
+        "ranks": ranks,
+        "backend": backend,
+        "compute_us": units.to_us(r.compute_time),
+        "reduce_us": units.to_us(r.reduction_time),
+        "speedup": float(r.speedup),
+        "correct": bool(r.result_ok),
+    }
+
+
+@point_kernel("dlrm")
+def _kernel_dlrm(n_inferences: int) -> dict:
+    from repro.apps.dlrm import CpuDlrmBaseline, DistributedDlrm, DlrmModel
+
+    model = DlrmModel()
+    dlrm = DistributedDlrm(model)
+    queries = model.make_queries(n_inferences)
+    stats = dlrm.run(queries)
+    reference = model.forward_batch(queries)
+    cpu = CpuDlrmBaseline()
+    return {
+        "accl": {
+            "latency_us": units.to_us(stats.mean_latency),
+            "p99_us": units.to_us(stats.p99_latency),
+            "throughput": float(stats.throughput),
+            "correct": bool(np.allclose(stats.outputs, reference,
+                                        rtol=1e-3, atol=1e-4)),
+        },
+        "cpu": [
+            {"batch": int(b), "latency_ms": units.to_ms(lat),
+             "throughput": float(thr)}
+            for b, lat, thr in cpu.sweep()
+        ],
+        "cpu_best_throughput": float(cpu.best_throughput()),
+    }
+
+
+@point_kernel("tab01")
+def _kernel_tab01() -> List[dict]:
+    from repro.cclo.config_mem import AlgorithmParams
+    from repro.collectives import AlgorithmSelector
+
+    selector = AlgorithmSelector()
+    params = AlgorithmParams()
+    rows = []
+    comm_small = CommunicatorConfig(0, 0, list(range(4)), protocol="rdma")
+    comm_large = CommunicatorConfig(0, 0, list(range(8)), protocol="rdma")
+    comm_udp = CommunicatorConfig(0, 0, list(range(8)), protocol="udp")
+    small, large = 2 * KIB, 256 * KIB
+    for opcode in ("bcast", "reduce", "gather", "alltoall"):
+        eager = selector.choose(
+            CollectiveArgs(opcode=opcode, nbytes=small, protocol="eager"),
+            comm_udp, params)
+        rndz_small = selector.choose(
+            CollectiveArgs(opcode=opcode, nbytes=small, protocol="rndz"),
+            comm_small, params)
+        rndz_large = selector.choose(
+            CollectiveArgs(opcode=opcode, nbytes=large, protocol="rndz"),
+            comm_large, params)
+        rows.append({
+            "collective": opcode,
+            "eager": eager,
+            "rndz_small": rndz_small,
+            "rndz_large": rndz_large,
+        })
+    return rows
+
+
+@point_kernel("tab02")
+def _kernel_tab02() -> List[dict]:
+    from repro.apps.dlrm import DlrmConfig
+
+    config = DlrmConfig()
+    return [{
+        "Tables": config.num_tables,
+        "Concat Vec Len": config.concat_len,
+        "FC Layers": str(config.fc_dims),
+        "Embed Size": f"{config.embed_bytes / 1e9:.0f}GB",
+    }]
+
+
+@point_kernel("tab03")
+def _kernel_tab03() -> List[dict]:
+    rows = []
+    for name, pct in utilization_table():
+        rows.append({"component": name,
+                     **{k: round(v, 1) for k, v in pct.items()}})
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Figure 7: send/recv throughput
 # ---------------------------------------------------------------------------
 
@@ -224,20 +425,31 @@ def _mpi_p2p_time(size: int, n_msgs: int) -> float:
     return cluster.run_all(proc)
 
 
-def run_fig07_sendrecv_throughput(sizes=None, n_msgs: int = 4) -> List[dict]:
+def run_fig07_sendrecv_throughput(sizes=None, n_msgs: int = 4,
+                                  runner: Optional[SweepRunner] = None,
+                                  ) -> List[dict]:
     """Throughput in Gb/s per transfer size, all four series of Figure 7."""
     sizes = sizes or [64 * KIB, units.MIB, 16 * MIB, 64 * MIB, 256 * MIB]
-    rows = []
+    runner = runner or SweepRunner()
+    points = []
     for size in sizes:
+        points += [
+            SweepPoint.make("fig07", "accl_p2p", size=size, n_msgs=n_msgs,
+                            location="device"),
+            SweepPoint.make("fig07", "accl_p2p", size=size, n_msgs=n_msgs,
+                            location="host"),
+            SweepPoint.make("fig07", "mpi_p2p", size=size, n_msgs=n_msgs),
+        ]
+    times = runner.run(points)
+    rows = []
+    for i, size in enumerate(sizes):
+        f2f, h2h, mpi = times[3 * i:3 * i + 3]
         total = n_msgs * size
         rows.append({
             "size": units.pretty_size(size),
-            "accl_f2f_gbps": units.to_gbps(
-                total / _accl_p2p_time(size, n_msgs, BufferLocation.DEVICE)),
-            "accl_h2h_gbps": units.to_gbps(
-                total / _accl_p2p_time(size, n_msgs, BufferLocation.HOST)),
-            "mpi_rdma_gbps": units.to_gbps(
-                total / _mpi_p2p_time(size, n_msgs)),
+            "accl_f2f_gbps": units.to_gbps(total / f2f),
+            "accl_h2h_gbps": units.to_gbps(total / h2h),
+            "mpi_rdma_gbps": units.to_gbps(total / mpi),
         })
     return rows
 
@@ -246,41 +458,23 @@ def run_fig07_sendrecv_throughput(sizes=None, n_msgs: int = 4) -> List[dict]:
 # Figure 8: CCLO invocation latency
 # ---------------------------------------------------------------------------
 
-def run_fig08_invocation_latency(repeats: int = 5) -> List[dict]:
+def run_fig08_invocation_latency(repeats: int = 5,
+                                 runner: Optional[SweepRunner] = None,
+                                 ) -> List[dict]:
     """NOP invocation latency from FPGA kernel / Coyote host / XRT host."""
-
-    def host_nop(platform: str, protocol: str) -> float:
-        cluster = build_fpga_cluster(2, protocol=protocol, platform=platform)
-        driver = attach_drivers(cluster)[0]
-        times = []
-        for _ in range(repeats):
-            req = driver.nop()
-            req.wait()
-            times.append(req.duration)
-        return float(np.mean(times))
-
-    def kernel_nop() -> float:
-        cluster = build_fpga_cluster(2, protocol="rdma", platform="coyote")
-        engine = cluster.engine(0)
-        env = cluster.env
-        times = []
-
-        def proc():
-            for _ in range(repeats):
-                start = env.now
-                yield engine.platform.invoke_from_kernel()
-                yield engine.call(CollectiveArgs(opcode="nop"))
-                times.append(env.now - start)
-
-        env.run(until=env.process(proc()))
-        return float(np.mean(times))
-
+    runner = runner or SweepRunner()
+    points = [
+        SweepPoint.make("fig08", "fig08_kernel_nop", repeats=repeats),
+        SweepPoint.make("fig08", "fig08_host_nop", platform="coyote",
+                        protocol="rdma", repeats=repeats),
+        SweepPoint.make("fig08", "fig08_host_nop", platform="vitis",
+                        protocol="tcp", repeats=repeats),
+    ]
+    kernel, coyote, xrt = runner.run(points)
     return [
-        {"caller": "FPGA kernel", "latency_us": units.to_us(kernel_nop())},
-        {"caller": "Coyote host",
-         "latency_us": units.to_us(host_nop("coyote", "rdma"))},
-        {"caller": "XRT host",
-         "latency_us": units.to_us(host_nop("vitis", "tcp"))},
+        {"caller": "FPGA kernel", "latency_us": units.to_us(kernel)},
+        {"caller": "Coyote host", "latency_us": units.to_us(coyote)},
+        {"caller": "XRT host", "latency_us": units.to_us(xrt)},
     ]
 
 
@@ -288,18 +482,17 @@ def run_fig08_invocation_latency(repeats: int = 5) -> List[dict]:
 # Figure 9: latency breakdown of MPI-based F2F broadcast
 # ---------------------------------------------------------------------------
 
-def run_fig09_f2f_breakdown(sizes=None, n_ranks: int = 8) -> List[dict]:
+def run_fig09_f2f_breakdown(sizes=None, n_ranks: int = 8,
+                            runner: Optional[SweepRunner] = None,
+                            ) -> List[dict]:
     sizes = sizes or [4 * KIB, 64 * KIB, units.MIB, 16 * MIB, 64 * MIB]
+    runner = runner or SweepRunner()
+    points = [SweepPoint.make("fig09", "fig09_breakdown",
+                              size=size, n_ranks=n_ranks)
+              for size in sizes]
+    breakdowns = runner.run(points)
     rows = []
-    for size in sizes:
-        cluster = build_mpi_cluster(n_ranks)
-        model = F2fMpiModel(cluster)
-        breakdown = model.run(
-            lambda me: mpi_alg.mpi_bcast(me, None, size, 0, 0),
-            in_bytes=lambda r: size if r == 0 else 0,
-            out_bytes=lambda r: 0 if r == 0 else size,
-        )
-        d = breakdown.as_dict()
+    for size, d in zip(sizes, breakdowns):
         rows.append({
             "size": units.pretty_size(size),
             **{k: units.to_us(v) for k, v in d.items()},
@@ -311,40 +504,56 @@ def run_fig09_f2f_breakdown(sizes=None, n_ranks: int = 8) -> List[dict]:
 # Figures 10/11: collective latency, F2F and H2H
 # ---------------------------------------------------------------------------
 
-def run_fig10_f2f_collectives(sizes=None, n_ranks: int = 8) -> Dict[str, Dict]:
+def run_fig10_f2f_collectives(sizes=None, n_ranks: int = 8,
+                              runner: Optional[SweepRunner] = None,
+                              ) -> Dict[str, Dict]:
     """F2F: ACCL+ RDMA on device data vs software MPI with the PCIe detour.
 
     Returns ``{collective: {size_label: (accl_us, mpi_us)}}``.
     """
     sizes = sizes or [KIB, 16 * KIB, 256 * KIB, 4 * MIB]
-    result: Dict[str, Dict] = {}
-    for opcode in COLLECTIVES:
-        result[opcode] = {}
-        for size in sizes:
-            accl = accl_best_protocol_time(
-                opcode, size, n_nodes=n_ranks,
-                location=BufferLocation.DEVICE, via_driver=False,
-            )
-            mpi = mpi_f2f_collective_time(opcode, size, n_ranks)
-            result[opcode][units.pretty_size(size)] = (
-                units.to_us(accl), units.to_us(mpi))
+    runner = runner or SweepRunner()
+    grid = [(opcode, size) for opcode in COLLECTIVES for size in sizes]
+    points = []
+    for opcode, size in grid:
+        points += [
+            SweepPoint.make("fig10", "accl_best_protocol", opcode=opcode,
+                            size=size, n_nodes=n_ranks, location="device",
+                            via_driver=False),
+            SweepPoint.make("fig10", "mpi_f2f_collective", opcode=opcode,
+                            size=size, n_ranks=n_ranks),
+        ]
+    times = runner.run(points)
+    result: Dict[str, Dict] = {opcode: {} for opcode in COLLECTIVES}
+    for i, (opcode, size) in enumerate(grid):
+        accl, mpi = times[2 * i:2 * i + 2]
+        result[opcode][units.pretty_size(size)] = (
+            units.to_us(accl), units.to_us(mpi))
     return result
 
 
-def run_fig11_h2h_collectives(sizes=None, n_ranks: int = 8) -> Dict[str, Dict]:
+def run_fig11_h2h_collectives(sizes=None, n_ranks: int = 8,
+                              runner: Optional[SweepRunner] = None,
+                              ) -> Dict[str, Dict]:
     """H2H: ACCL+ as offload engine on host data vs plain software MPI."""
     sizes = sizes or [KIB, 16 * KIB, 256 * KIB, 4 * MIB]
-    result: Dict[str, Dict] = {}
-    for opcode in COLLECTIVES:
-        result[opcode] = {}
-        for size in sizes:
-            accl = accl_best_protocol_time(
-                opcode, size, n_nodes=n_ranks,
-                location=BufferLocation.HOST, via_driver=True,
-            )
-            mpi = mpi_collective_time(opcode, size, n_ranks)
-            result[opcode][units.pretty_size(size)] = (
-                units.to_us(accl), units.to_us(mpi))
+    runner = runner or SweepRunner()
+    grid = [(opcode, size) for opcode in COLLECTIVES for size in sizes]
+    points = []
+    for opcode, size in grid:
+        points += [
+            SweepPoint.make("fig11", "accl_best_protocol", opcode=opcode,
+                            size=size, n_nodes=n_ranks, location="host",
+                            via_driver=True),
+            SweepPoint.make("fig11", "mpi_collective", opcode=opcode,
+                            size=size, n_ranks=n_ranks),
+        ]
+    times = runner.run(points)
+    result: Dict[str, Dict] = {opcode: {} for opcode in COLLECTIVES}
+    for i, (opcode, size) in enumerate(grid):
+        accl, mpi = times[2 * i:2 * i + 2]
+        result[opcode][units.pretty_size(size)] = (
+            units.to_us(accl), units.to_us(mpi))
     return result
 
 
@@ -353,21 +562,33 @@ def run_fig11_h2h_collectives(sizes=None, n_ranks: int = 8) -> Dict[str, Dict]:
 # ---------------------------------------------------------------------------
 
 def run_fig12_reduce_scalability(rank_range=range(2, 9),
-                                 sizes=(8 * KIB, 128 * KIB)) -> Dict[str, Dict]:
+                                 sizes=(8 * KIB, 128 * KIB),
+                                 runner: Optional[SweepRunner] = None,
+                                 ) -> Dict[str, Dict]:
     """Latency-vs-ranks series for ACCL+ and software MPI (both sizes)."""
+    ranks = list(rank_range)
+    runner = runner or SweepRunner()
+    grid = [(size, n) for size in sizes for n in ranks]
+    points = []
+    for size, n in grid:
+        points += [
+            SweepPoint.make("fig12", "accl_collective", opcode="reduce",
+                            size=size, n_nodes=n, location="device",
+                            sync_protocol="rndz"),
+            SweepPoint.make("fig12", "mpi_collective", opcode="reduce",
+                            size=size, n_ranks=n),
+        ]
+    times = runner.run(points)
     series: Dict[str, Dict] = {}
     for size in sizes:
         label = units.pretty_size(size)
         series[f"accl_{label}"] = {}
         series[f"mpi_{label}"] = {}
-        for n in rank_range:
-            accl = accl_collective_time(
-                "reduce", size, n_nodes=n,
-                location=BufferLocation.DEVICE, sync_protocol="rndz",
-            )
-            mpi = mpi_collective_time("reduce", size, n)
-            series[f"accl_{label}"][n] = units.to_us(accl)
-            series[f"mpi_{label}"][n] = units.to_us(mpi)
+    for i, (size, n) in enumerate(grid):
+        accl, mpi = times[2 * i:2 * i + 2]
+        label = units.pretty_size(size)
+        series[f"accl_{label}"][n] = units.to_us(accl)
+        series[f"mpi_{label}"][n] = units.to_us(mpi)
     return series
 
 
@@ -376,35 +597,40 @@ def run_fig12_reduce_scalability(rank_range=range(2, 9),
 # ---------------------------------------------------------------------------
 
 def run_fig13_tcp_xrt(sizes=None, n_ranks: int = 4,
-                      opcodes=("bcast", "reduce")) -> Dict[str, Dict]:
+                      opcodes=("bcast", "reduce"),
+                      runner: Optional[SweepRunner] = None,
+                      ) -> Dict[str, Dict]:
     sizes = sizes or [4 * KIB, 64 * KIB, 512 * KIB]
-    result: Dict[str, Dict] = {}
-    for opcode in opcodes:
-        result[opcode] = {}
-        for size in sizes:
-            label = units.pretty_size(size)
-            accl_f2f = accl_collective_time(
-                opcode, size, n_nodes=n_ranks, protocol="tcp",
-                platform="vitis", location=BufferLocation.DEVICE,
-            )
-            accl_h2h = accl_collective_time(
-                opcode, size, n_nodes=n_ranks, protocol="tcp",
-                platform="vitis", location=BufferLocation.HOST,
-                via_driver=True,
-            )
-            v1_f2f = accl_collective_time(
-                opcode, size, n_nodes=n_ranks, protocol="tcp",
-                platform="vitis", location=BufferLocation.DEVICE,
-                cluster_builder=lambda n, **kw: build_accl_v1_cluster(n),
-            )
-            mpi = mpi_collective_time(opcode, size, n_ranks,
-                                      library="mpich", transport="tcp")
-            result[opcode][label] = {
-                "accl+_f2f_us": units.to_us(accl_f2f),
-                "accl+_h2h_us": units.to_us(accl_h2h),
-                "accl_v1_us": units.to_us(v1_f2f),
-                "mpi_tcp_us": units.to_us(mpi),
-            }
+    runner = runner or SweepRunner()
+    grid = [(opcode, size) for opcode in opcodes for size in sizes]
+    points = []
+    for opcode, size in grid:
+        points += [
+            SweepPoint.make("fig13", "accl_collective", opcode=opcode,
+                            size=size, n_nodes=n_ranks, protocol="tcp",
+                            platform="vitis", location="device"),
+            SweepPoint.make("fig13", "accl_collective", opcode=opcode,
+                            size=size, n_nodes=n_ranks, protocol="tcp",
+                            platform="vitis", location="host",
+                            via_driver=True),
+            SweepPoint.make("fig13", "accl_collective", opcode=opcode,
+                            size=size, n_nodes=n_ranks, protocol="tcp",
+                            platform="vitis", location="device",
+                            engine="accl_v1"),
+            SweepPoint.make("fig13", "mpi_collective", opcode=opcode,
+                            size=size, n_ranks=n_ranks, library="mpich",
+                            transport="tcp"),
+        ]
+    times = runner.run(points)
+    result: Dict[str, Dict] = {opcode: {} for opcode in opcodes}
+    for i, (opcode, size) in enumerate(grid):
+        accl_f2f, accl_h2h, v1_f2f, mpi = times[4 * i:4 * i + 4]
+        result[opcode][units.pretty_size(size)] = {
+            "accl+_f2f_us": units.to_us(accl_f2f),
+            "accl+_h2h_us": units.to_us(accl_h2h),
+            "accl_v1_us": units.to_us(v1_f2f),
+            "mpi_tcp_us": units.to_us(mpi),
+        }
     return result
 
 
@@ -412,35 +638,21 @@ def run_fig13_tcp_xrt(sizes=None, n_ranks: int = 4,
 # Table 1: the algorithm-selection table
 # ---------------------------------------------------------------------------
 
-def run_tab01_algorithm_table() -> List[dict]:
+def run_tab01_algorithm_table(runner: Optional[SweepRunner] = None,
+                              ) -> List[dict]:
     """Regenerate Table 1 from the live selector."""
-    from repro.cclo.config_mem import AlgorithmParams
-    from repro.collectives import AlgorithmSelector
+    runner = runner or SweepRunner()
+    return runner.run_one(SweepPoint.make("tab01", "tab01"))
 
-    selector = AlgorithmSelector()
-    params = AlgorithmParams()
-    rows = []
-    comm_small = CommunicatorConfig(0, 0, list(range(4)), protocol="rdma")
-    comm_large = CommunicatorConfig(0, 0, list(range(8)), protocol="rdma")
-    comm_udp = CommunicatorConfig(0, 0, list(range(8)), protocol="udp")
-    small, large = 2 * KIB, 256 * KIB
-    for opcode in ("bcast", "reduce", "gather", "alltoall"):
-        eager = selector.choose(
-            CollectiveArgs(opcode=opcode, nbytes=small, protocol="eager"),
-            comm_udp, params)
-        rndz_small = selector.choose(
-            CollectiveArgs(opcode=opcode, nbytes=small, protocol="rndz"),
-            comm_small, params)
-        rndz_large = selector.choose(
-            CollectiveArgs(opcode=opcode, nbytes=large, protocol="rndz"),
-            comm_large, params)
-        rows.append({
-            "collective": opcode,
-            "eager": eager,
-            "rndz_small": rndz_small,
-            "rndz_large": rndz_large,
-        })
-    return rows
+
+# ---------------------------------------------------------------------------
+# Table 2: parameters of the target recommendation model
+# ---------------------------------------------------------------------------
+
+def run_tab02_dlrm_config(runner: Optional[SweepRunner] = None) -> List[dict]:
+    """Regenerate Table 2 (the DLRM model parameters, DESIGN.md §4)."""
+    runner = runner or SweepRunner()
+    return runner.run_one(SweepPoint.make("tab02", "tab02"))
 
 
 # ---------------------------------------------------------------------------
@@ -448,59 +660,34 @@ def run_tab01_algorithm_table() -> List[dict]:
 # ---------------------------------------------------------------------------
 
 def run_fig16_vecmat(sizes=(2048, 4096, 8192),
-                     rank_counts=(2, 4, 8)) -> List[dict]:
-    rows = []
-    for rows_cols in sizes:
-        for ranks in rank_counts:
-            for backend in ("accl", "mpi"):
-                r = run_distributed_vecmat(rows_cols, rows_cols, ranks,
-                                           backend)
-                rows.append({
-                    "fc_size": rows_cols,
-                    "ranks": ranks,
-                    "backend": backend,
-                    "compute_us": units.to_us(r.compute_time),
-                    "reduce_us": units.to_us(r.reduction_time),
-                    "speedup": r.speedup,
-                    "correct": r.result_ok,
-                })
-    return rows
+                     rank_counts=(2, 4, 8),
+                     runner: Optional[SweepRunner] = None) -> List[dict]:
+    runner = runner or SweepRunner()
+    points = [
+        SweepPoint.make("fig16", "vecmat", fc_size=fc_size, ranks=ranks,
+                        backend=backend)
+        for fc_size in sizes
+        for ranks in rank_counts
+        for backend in ("accl", "mpi")
+    ]
+    return runner.run(points)
 
 
 # ---------------------------------------------------------------------------
 # Figure 17: DLRM latency and throughput
 # ---------------------------------------------------------------------------
 
-def run_fig17_dlrm(n_inferences: int = 48) -> dict:
-    model = DlrmModel()
-    dlrm = DistributedDlrm(model)
-    queries = model.make_queries(n_inferences)
-    stats = dlrm.run(queries)
-    reference = model.forward_batch(queries)
-    cpu = CpuDlrmBaseline()
-    return {
-        "accl": {
-            "latency_us": units.to_us(stats.mean_latency),
-            "p99_us": units.to_us(stats.p99_latency),
-            "throughput": stats.throughput,
-            "correct": bool(np.allclose(stats.outputs, reference,
-                                        rtol=1e-3, atol=1e-4)),
-        },
-        "cpu": [
-            {"batch": b, "latency_ms": units.to_ms(lat), "throughput": thr}
-            for b, lat, thr in cpu.sweep()
-        ],
-        "cpu_best_throughput": cpu.best_throughput(),
-    }
+def run_fig17_dlrm(n_inferences: int = 48,
+                   runner: Optional[SweepRunner] = None) -> dict:
+    runner = runner or SweepRunner()
+    return runner.run_one(
+        SweepPoint.make("fig17", "dlrm", n_inferences=n_inferences))
 
 
 # ---------------------------------------------------------------------------
 # Table 3: resource utilization
 # ---------------------------------------------------------------------------
 
-def run_tab03_resources() -> List[dict]:
-    rows = []
-    for name, pct in utilization_table():
-        rows.append({"component": name,
-                     **{k: round(v, 1) for k, v in pct.items()}})
-    return rows
+def run_tab03_resources(runner: Optional[SweepRunner] = None) -> List[dict]:
+    runner = runner or SweepRunner()
+    return runner.run_one(SweepPoint.make("tab03", "tab03"))

@@ -1,0 +1,184 @@
+"""Parallel, cached execution of benchmark sweeps.
+
+Every evaluation artifact decomposes into independent :class:`SweepPoint`
+work items — one hermetic simulated cluster per point — so a sweep
+parallelizes trivially across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+:class:`SweepRunner` fans points out (``jobs > 1``), memoizes results
+through :class:`~repro.bench.cache.ResultCache`, and records per-point
+wall-clock, simulated time and event counts for the ``BENCH_results.json``
+trajectory artifact.
+
+Point *kernels* are plain functions registered under a string name with
+:func:`point_kernel`; a point carries only its kernel name plus primitive
+parameters, so it pickles cleanly into worker processes.  Workers import
+:mod:`repro.bench.harness` lazily to (re-)populate the registry.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.bench.cache import ResultCache, point_key
+
+#: kernel-name -> callable; populated by :func:`point_kernel` decorators
+#: when :mod:`repro.bench.harness` is imported.
+KERNELS: Dict[str, Callable] = {}
+
+
+def point_kernel(name: str) -> Callable[[Callable], Callable]:
+    """Register a picklable sweep kernel under *name*."""
+
+    def decorate(fn: Callable) -> Callable:
+        KERNELS[name] = fn
+        return fn
+
+    return decorate
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent unit of benchmark work (one simulated cluster)."""
+
+    artifact: str
+    kernel: str
+    params: tuple  # sorted ((name, value), ...) — hashable and stable
+
+    @classmethod
+    def make(cls, artifact: str, kernel: str, **params: Any) -> "SweepPoint":
+        return cls(artifact, kernel, tuple(sorted(params.items())))
+
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def key(self) -> str:
+        return point_key(self.artifact, self.kernel, self.kwargs())
+
+
+@dataclass
+class PointResult:
+    """A point's value plus its execution metadata."""
+
+    point: SweepPoint
+    value: Any
+    wall_s: float   # wall-clock of the producing run (not of a cache read)
+    sim_s: float    # simulated seconds advanced while computing the point
+    events: int     # discrete events processed while computing the point
+    cached: bool
+    key: Optional[str] = None
+
+
+def execute_point(point: SweepPoint) -> Dict[str, Any]:
+    """Run one point and measure it.  Top-level so it pickles to workers."""
+    import repro.bench.harness  # noqa: F401 — populates KERNELS on import
+    from repro.sim.kernel import Environment
+
+    fn = KERNELS[point.kernel]
+    events0 = Environment.total_events_processed
+    sim0 = Environment.total_sim_time
+    start = time.perf_counter()
+    value = fn(**point.kwargs())
+    return {
+        "value": value,
+        "wall_s": time.perf_counter() - start,
+        "sim_s": Environment.total_sim_time - sim0,
+        "events": Environment.total_events_processed - events0,
+    }
+
+
+class SweepRunner:
+    """Executes point lists: fan-out, memoization, metadata accounting.
+
+    ``jobs=1`` runs points inline (the fully sequential, easily debuggable
+    path); ``jobs>1`` dispatches cache misses to a process pool.  Results
+    always come back in point order, so figure assembly is independent of
+    scheduling and a parallel sweep is row-for-row identical to a
+    sequential one.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None):
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.records: List[PointResult] = []
+
+    def run(self, points: Sequence[SweepPoint]) -> List[Any]:
+        """Execute *points*; returns their values in point order."""
+        results: List[Optional[PointResult]] = [None] * len(points)
+        pending: List[tuple] = []
+        for i, point in enumerate(points):
+            key = point.key() if self.cache is not None else None
+            record = self.cache.get(key) if self.cache is not None else None
+            if record is not None:
+                results[i] = PointResult(
+                    point=point, value=record["value"],
+                    wall_s=record.get("wall_s", 0.0),
+                    sim_s=record.get("sim_s", 0.0),
+                    events=record.get("events", 0),
+                    cached=True, key=key,
+                )
+            else:
+                pending.append((i, point, key))
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                outputs = [execute_point(point) for _, point, _ in pending]
+            else:
+                workers = min(self.jobs, len(pending))
+                # Batch points per pickling round-trip; map() preserves
+                # input order, which the assemblers rely on.
+                chunk = max(1, len(pending) // (workers * 4))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    outputs = list(pool.map(
+                        execute_point, [point for _, point, _ in pending],
+                        chunksize=chunk))
+            for (i, point, key), out in zip(pending, outputs):
+                results[i] = PointResult(point=point, cached=False, key=key,
+                                         **out)
+                if self.cache is not None:
+                    self.cache.put(key, out)
+
+        self.records.extend(results)  # type: ignore[arg-type]
+        return [r.value for r in results]  # type: ignore[union-attr]
+
+    def run_one(self, point: SweepPoint) -> Any:
+        """Convenience for single-point artifacts (tables, DLRM)."""
+        return self.run([point])[0]
+
+    def trajectory(self) -> Dict[str, Any]:
+        """The machine-readable run summary (``BENCH_results.json``)."""
+        artifacts: Dict[str, Any] = {}
+        for rec in self.records:
+            art = artifacts.setdefault(rec.point.artifact, {
+                "points": [], "wall_s": 0.0, "sim_s": 0.0,
+                "events": 0, "cached_points": 0,
+            })
+            art["points"].append({
+                "kernel": rec.point.kernel,
+                "params": rec.point.kwargs(),
+                "key": rec.key,
+                "wall_s": rec.wall_s,
+                "sim_s": rec.sim_s,
+                "events": rec.events,
+                "cached": rec.cached,
+            })
+            art["wall_s"] += rec.wall_s
+            art["sim_s"] += rec.sim_s
+            art["events"] += rec.events
+            art["cached_points"] += int(rec.cached)
+        totals = {
+            "points": len(self.records),
+            "cached_points": sum(a["cached_points"]
+                                 for a in artifacts.values()),
+            "wall_s": sum(a["wall_s"] for a in artifacts.values()),
+            "sim_s": sum(a["sim_s"] for a in artifacts.values()),
+            "events": sum(a["events"] for a in artifacts.values()),
+        }
+        return {
+            "schema": 1,
+            "jobs": self.jobs,
+            "cache": (None if self.cache is None else str(self.cache.root)),
+            "totals": totals,
+            "artifacts": artifacts,
+        }

@@ -286,6 +286,12 @@ def any_of(env: "Environment", events: Iterable[Event]) -> Event:
 class Environment:
     """Holds simulation time and the event heap, and runs the main loop."""
 
+    #: process-wide instrumentation, accumulated across every Environment
+    #: instance; the benchmark sweep runner reads deltas around each point
+    #: to report per-point event counts and simulated time.
+    total_events_processed: int = 0
+    total_sim_time: float = 0.0
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._heap: List[tuple] = []
@@ -334,6 +340,9 @@ class Environment:
         if not self._heap:
             raise SimulationError("no more events")
         when, _seq, event = heapq.heappop(self._heap)
+        Environment.total_events_processed += 1
+        if when > self._now:
+            Environment.total_sim_time += when - self._now
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None

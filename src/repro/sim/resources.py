@@ -11,7 +11,7 @@ costs O(1) events regardless of its size.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, List, Optional
 
 from repro.sim.kernel import Environment, Event
 
@@ -87,17 +87,39 @@ class BandwidthResource:
         self._free_at = 0.0
         self._busy_time = 0.0
         self._bytes_moved = 0
+        # Busy time in timestamped form: merged, non-overlapping
+        # [start, end] occupancy intervals, sorted by start.  Back-to-back
+        # transfers extend the last interval, so the list only grows at
+        # idle gaps and windowed queries stay cheap.
+        self._busy_intervals: List[List[float]] = []
 
     @property
     def bytes_moved(self) -> int:
         return self._bytes_moved
 
+    def _record_busy(self, start: float, finish: float) -> None:
+        if self._busy_intervals and start <= self._busy_intervals[-1][1]:
+            last = self._busy_intervals[-1]
+            last[1] = max(last[1], finish)
+        else:
+            self._busy_intervals.append([start, finish])
+
     def utilization(self, since: float = 0.0) -> float:
-        """Fraction of wall time the pipe was busy in ``[since, now]``."""
-        elapsed = self.env.now - since
+        """Fraction of wall time the pipe was busy in ``[since, now]``.
+
+        Occupancy scheduled beyond *now* (a transfer still in flight) is
+        clipped to the window, so the result is exact for any ``since``.
+        """
+        now = self.env.now
+        elapsed = now - since
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self._busy_time / elapsed)
+        busy = 0.0
+        for start, end in reversed(self._busy_intervals):
+            if end <= since:
+                break
+            busy += max(0.0, min(end, now) - max(start, since))
+        return min(1.0, busy / elapsed)
 
     def busy_until(self) -> float:
         """Simulation time at which the pipe becomes idle."""
@@ -118,6 +140,7 @@ class BandwidthResource:
         self._free_at = finish
         self._busy_time += duration
         self._bytes_moved += nbytes
+        self._record_busy(start, finish)
         return self.env.timeout(finish - self.env.now, value=nbytes)
 
     def reserve(self, nbytes: int) -> float:
@@ -131,6 +154,7 @@ class BandwidthResource:
         self._free_at = start + duration
         self._busy_time += duration
         self._bytes_moved += nbytes
+        self._record_busy(start, self._free_at)
         return self._free_at
 
     def __repr__(self) -> str:

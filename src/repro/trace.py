@@ -19,9 +19,9 @@ Usage::
 from __future__ import annotations
 
 import csv
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -42,20 +42,24 @@ class TraceEvent:
 
 
 class Tracer:
-    """Bounded in-memory event recorder."""
+    """Bounded in-memory event recorder.
+
+    At capacity the tracer behaves as a ring buffer: the *oldest* events
+    are evicted and ``dropped`` counts the evictions, so the tail of a
+    long run — the part debugging actually needs — is always retained.
+    """
 
     def __init__(self, capacity: int = 100_000):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        self._events: List[TraceEvent] = []
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self.dropped = 0
 
     def record(self, time: float, component: str, event: str,
                **detail: Any) -> None:
-        if len(self._events) >= self.capacity:
-            self.dropped += 1
-            return
+        if len(self._events) == self.capacity:
+            self.dropped += 1  # deque evicts the oldest event on append
         self._events.append(TraceEvent(
             time=time, component=component, event=event,
             detail=tuple(sorted(detail.items())),
@@ -77,13 +81,25 @@ class Tracer:
         ]
 
     def summary(self) -> Dict[str, int]:
-        """``{"component.event": count}`` over the whole trace."""
+        """``{"component.event": count}`` over the retained trace.
+
+        When the ring buffer has evicted events, a ``"tracer.dropped"``
+        entry surfaces the truncation so counts are never silently short.
+        """
         counts = Counter(f"{ev.component}.{ev.event}" for ev in self._events)
-        return dict(sorted(counts.items()))
+        out = dict(sorted(counts.items()))
+        if self.dropped:
+            out["tracer.dropped"] = self.dropped
+        return out
 
     def spans(self, component: str, start_event: str,
               end_event: str) -> List[float]:
-        """Durations between consecutive start/end event pairs."""
+        """Durations between matched start/end event pairs.
+
+        Pairing is LIFO (an end event closes the *most recent* open
+        start), so nested spans report inner-before-outer with correct
+        durations — FIFO pairing would invert them.
+        """
         durations = []
         open_starts: List[float] = []
         for ev in self._events:
@@ -92,7 +108,7 @@ class Tracer:
             if ev.event == start_event:
                 open_starts.append(ev.time)
             elif ev.event == end_event and open_starts:
-                durations.append(ev.time - open_starts.pop(0))
+                durations.append(ev.time - open_starts.pop())
         return durations
 
     def to_csv(self, path: str) -> int:

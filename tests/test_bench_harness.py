@@ -98,5 +98,31 @@ class TestCli:
 
     def test_artifact_registry_covers_all_figures(self):
         expected = {"fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
-                    "fig13", "fig16", "fig17", "tab01", "tab03"}
+                    "fig13", "fig16", "fig17", "tab01", "tab02", "tab03"}
         assert set(ARTIFACTS) == expected
+
+    def test_tab02_regenerates_dlrm_config(self, capsys):
+        assert main(["tab02"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "3200" in out and "(2048, 512, 256)" in out
+
+    def test_json_flag_writes_trajectory(self, tmp_path, capsys):
+        out_path = tmp_path / "traj.json"
+        assert main(["tab01", "--no-cache", "--json", str(out_path)]) == 0
+        import json
+        trajectory = json.loads(out_path.read_text())
+        assert trajectory["schema"] == 1
+        assert trajectory["totals"]["points"] == 1
+        point = trajectory["artifacts"]["tab01"]["points"][0]
+        assert point["kernel"] == "tab01"
+        assert point["wall_s"] > 0
+        assert point["cached"] is False
+
+    def test_cache_flag_round_trip(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["tab03", "--cache", cache_dir]) == 0
+        cold = capsys.readouterr().out
+        assert main(["tab03", "--cache", cache_dir]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold  # cache hit renders identical rows

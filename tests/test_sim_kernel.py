@@ -322,3 +322,129 @@ def test_many_processes_scale():
         env.process(proc(i))
     env.run()
     assert len(counter) == 1000
+
+
+# ---------------------------------------------------------------------------
+# edge cases: interrupt timing, failed condition children, instrumentation
+# ---------------------------------------------------------------------------
+
+def test_interrupt_process_whose_target_triggered_but_not_processed():
+    """Interrupt racing the target event at the same timestamp.
+
+    The interrupter's timeout pops first, so at interrupt time the waiter's
+    own timeout has *triggered* (it sits in the heap) but its callbacks
+    have not run.  The interrupt must still win: the waiter sees the
+    Interrupt, never the timeout completion.
+    """
+    env = Environment()
+    log = []
+    holder = {}
+
+    def interrupter():
+        yield env.timeout(1.0)
+        target = holder["p"]._target
+        assert target.triggered and not target.processed
+        holder["p"].interrupt("late")
+
+    env.process(interrupter())  # started first => pops first at t=1.0
+
+    def waiter():
+        try:
+            yield env.timeout(1.0)
+            log.append("completed")
+        except Interrupt as intr:
+            log.append(("interrupted", intr.cause))
+
+    holder["p"] = env.process(waiter())
+    env.run()
+    assert log == [("interrupted", "late")]
+
+
+def test_interrupted_process_can_keep_running():
+    env = Environment()
+    log = []
+
+    def waiter():
+        try:
+            yield env.timeout(10.0)
+        except Interrupt:
+            pass
+        yield env.timeout(1.0)  # life goes on after the interrupt
+        log.append(env.now)
+
+    p = env.process(waiter())
+
+    def interrupter():
+        yield env.timeout(2.0)
+        p.interrupt()
+
+    env.process(interrupter())
+    env.run()
+    assert log == [pytest.approx(3.0)]
+
+
+def test_interrupt_terminated_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    p = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+@pytest.mark.parametrize("combinator", [any_of, all_of])
+def test_condition_with_already_failed_child_raises_in_waiter(combinator):
+    env = Environment()
+    bad = Event(env)
+    bad.fail(RuntimeError("boom"))
+    bad.defuse()
+    good = env.timeout(1.0)
+    outcome = []
+
+    def watcher():
+        try:
+            yield combinator(env, [bad, good])
+            outcome.append("ok")
+        except RuntimeError as exc:
+            outcome.append(str(exc))
+
+    env.process(watcher())
+    env.run()
+    assert outcome == ["boom"]
+
+
+def test_all_of_failed_child_does_not_wait_for_siblings():
+    env = Environment()
+    bad = Event(env)
+    bad.fail(RuntimeError("early"))
+    bad.defuse()
+    slow = env.timeout(100.0)
+    seen = {}
+
+    def watcher():
+        try:
+            yield all_of(env, [slow, bad])
+        except RuntimeError:
+            seen["at"] = env.now
+
+    env.process(watcher())
+    env.run()
+    assert seen["at"] == pytest.approx(0.0)
+
+
+def test_environment_instrumentation_counters_advance():
+    events0 = Environment.total_events_processed
+    sim0 = Environment.total_sim_time
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2.5)
+        yield env.timeout(1.5)
+
+    env.process(proc())
+    env.run()
+    assert Environment.total_events_processed - events0 >= 3
+    assert Environment.total_sim_time - sim0 == pytest.approx(4.0)

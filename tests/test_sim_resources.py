@@ -195,3 +195,118 @@ def test_token_bucket_oversized_request_rejected():
     bucket = TokenBucket(env, tokens=2)
     with pytest.raises(ValueError):
         bucket.take(3)
+
+
+def test_bandwidth_utilization_windowed_since():
+    """Regression: busy time before ``since`` must not inflate the window."""
+    env = Environment()
+    pipe = BandwidthResource(env, rate_bytes_per_s=100.0)
+
+    def proc():
+        yield pipe.transfer(100)   # busy [0, 1]
+        yield env.timeout(2)       # idle [1, 3]
+
+    env.process(proc())
+    env.run()
+    assert pipe.utilization() == pytest.approx(1.0 / 3.0)
+    assert pipe.utilization(since=1.0) == 0.0            # fully idle window
+    assert pipe.utilization(since=0.5) == pytest.approx(0.5 / 2.5)
+
+
+def test_bandwidth_utilization_window_spanning_gaps():
+    env = Environment()
+    pipe = BandwidthResource(env, rate_bytes_per_s=100.0)
+
+    def proc():
+        yield pipe.transfer(100)   # busy [0, 1]
+        yield env.timeout(1)       # idle [1, 2]
+        yield pipe.transfer(100)   # busy [2, 3]
+        yield env.timeout(1)       # idle [3, 4]
+
+    env.process(proc())
+    env.run()
+    assert pipe.utilization() == pytest.approx(0.5)
+    assert pipe.utilization(since=2.0) == pytest.approx(0.5)
+    assert pipe.utilization(since=2.5) == pytest.approx(0.5 / 1.5)
+    assert pipe.utilization(since=3.0) == 0.0
+
+
+def test_bandwidth_utilization_clips_in_flight_transfer():
+    """A transfer scheduled beyond *now* only counts up to *now*."""
+    env = Environment()
+    pipe = BandwidthResource(env, rate_bytes_per_s=100.0)
+    measured = {}
+
+    def proc():
+        pipe.transfer(200)         # busy [0, 2], still in flight at t=1
+        yield env.timeout(1)
+        measured["u"] = pipe.utilization()
+
+    env.process(proc())
+    env.run()
+    assert measured["u"] == pytest.approx(1.0)
+
+
+def test_bandwidth_back_to_back_transfers_merge_busy_intervals():
+    env = Environment()
+    pipe = BandwidthResource(env, rate_bytes_per_s=100.0)
+
+    def proc():
+        for _ in range(4):
+            yield pipe.transfer(100)
+
+    env.process(proc())
+    env.run()
+    assert len(pipe._busy_intervals) == 1
+    assert pipe.utilization() == pytest.approx(1.0)
+
+
+def test_token_bucket_large_head_request_blocks_later_small_ones():
+    """FIFO fairness: a small request must not overtake a big queued one."""
+    env = Environment()
+    bucket = TokenBucket(env, tokens=4, initial=0)
+    order = []
+
+    def taker(tag, amount):
+        yield bucket.take(amount)
+        order.append((tag, env.now))
+
+    env.process(taker("big", 4))
+    env.process(taker("small", 1))
+
+    def giver():
+        yield env.timeout(1)
+        bucket.give(2)   # enough for "small", but "big" heads the queue
+        yield env.timeout(1)
+        bucket.give(2)   # big (4) proceeds; small still short
+        yield env.timeout(1)
+        bucket.give(1)   # now small proceeds
+
+    env.process(giver())
+    env.run()
+    assert order == [("big", pytest.approx(2.0)),
+                     ("small", pytest.approx(3.0))]
+    assert bucket.available == 0
+
+
+def test_token_bucket_take_queues_behind_existing_waiters():
+    env = Environment()
+    bucket = TokenBucket(env, tokens=2, initial=0)
+    order = []
+
+    def taker(tag):
+        yield bucket.take(2)
+        order.append(tag)
+
+    env.process(taker("first"))
+    env.process(taker("second"))
+
+    def giver():
+        yield env.timeout(1)
+        bucket.give(2)
+        yield env.timeout(1)
+        bucket.give(2)
+
+    env.process(giver())
+    env.run()
+    assert order == ["first", "second"]

@@ -34,12 +34,22 @@ class TestTracerCore:
         tracer.record(2.0, "dmp", "issue")
         assert len(tracer) == 2
 
-    def test_capacity_bound_drops(self):
+    def test_capacity_bound_drops_oldest(self):
         tracer = Tracer(capacity=2)
         for i in range(5):
             tracer.record(float(i), "x", "e")
         assert len(tracer) == 2
         assert tracer.dropped == 3
+        # Ring-buffer semantics: the *tail* of the run is retained.
+        assert [ev.time for ev in tracer] == [3.0, 4.0]
+
+    def test_summary_surfaces_truncation(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.record(float(i), "x", "e")
+        summary = tracer.summary()
+        assert summary["x.e"] == 2
+        assert summary["tracer.dropped"] == 3
 
     def test_bad_capacity(self):
         with pytest.raises(ValueError):
@@ -68,6 +78,28 @@ class TestTracerCore:
         tracer.record(4.0, "dmp", "issue")
         tracer.record(9.0, "dmp", "retire")
         assert tracer.spans("dmp", "issue", "retire") == [2.0, 5.0]
+
+    def test_spans_nested_pairing_is_lifo(self):
+        """Regression: nested spans must pair inner-first, not inverted.
+
+        outer [1, 10] wraps inner [2, 3]: FIFO pairing would report
+        [2.0, 8.0] — the inner duration credited to the outer start.
+        """
+        tracer = Tracer()
+        tracer.record(1.0, "dmp", "issue")    # outer start
+        tracer.record(2.0, "dmp", "issue")    # inner start
+        tracer.record(3.0, "dmp", "retire")   # inner end
+        tracer.record(10.0, "dmp", "retire")  # outer end
+        assert tracer.spans("dmp", "issue", "retire") == [1.0, 9.0]
+
+    def test_spans_overlapping_other_components_ignored(self):
+        tracer = Tracer()
+        tracer.record(1.0, "dmp", "issue")
+        tracer.record(2.0, "uc", "issue")
+        tracer.record(3.0, "uc", "retire")
+        tracer.record(4.0, "dmp", "retire")
+        assert tracer.spans("dmp", "issue", "retire") == [3.0]
+        assert tracer.spans("uc", "issue", "retire") == [1.0]
 
     def test_event_rendering(self):
         ev = TraceEvent(1e-6, "cclo0.uc", "dispatch", (("opcode", "send"),))
