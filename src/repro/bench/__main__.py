@@ -6,6 +6,8 @@ Usage::
     python -m repro.bench fig07 fig08 tab03
     python -m repro.bench all --jobs 8
     python -m repro.bench all --no-cache --json BENCH_results.json
+    python -m repro.bench profile fig07 --quick
+    python -m repro.bench profile kernel
 
 Options::
 
@@ -19,11 +21,22 @@ Options::
     --json OUT    write the per-point trajectory (wall-clock, simulated
                   time, event counts) to OUT; ``all`` writes
                   BENCH_results.json by default
+    --profile-out PATH
+                  run under cProfile and dump pstats to PATH
+                  (inspect with ``python -m pstats PATH``)
+
+``profile`` mode (see :mod:`repro.bench.profile`)::
+
+    profile <artifact>|kernel  events/sec + ns/event for one artifact, or
+                               the kernel microbenchmark suite
+    --quick                    reduced sweep sized for a CI smoke job
+    --memory                   attach tracemalloc, report current/peak
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import sys
 import time
@@ -31,6 +44,7 @@ import time
 from repro.bench import formats, harness
 from repro.bench.cache import ResultCache
 from repro.bench.runner import SweepRunner
+from repro.trace import Tracer
 
 DEFAULT_CACHE_DIR = ".bench_cache"
 DEFAULT_JSON_OUT = "BENCH_results.json"
@@ -150,7 +164,8 @@ def _parser() -> argparse.ArgumentParser:
         prog="python -m repro.bench", add_help=True,
         description="Regenerate evaluation artifacts.")
     parser.add_argument("names", nargs="*",
-                        help="artifact names, 'all', or 'list'")
+                        help="artifact names, 'all', 'list', or "
+                             "'profile <artifact>|kernel'")
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         help="worker processes for the sweep (default: 1)")
     parser.add_argument("--cache", default=DEFAULT_CACHE_DIR, metavar="DIR",
@@ -162,7 +177,58 @@ def _parser() -> argparse.ArgumentParser:
                         const=DEFAULT_JSON_OUT, default=None, metavar="OUT",
                         help="write the per-point trajectory to OUT "
                              f"(default when given: {DEFAULT_JSON_OUT})")
+    parser.add_argument("--profile-out", default=None, metavar="PATH",
+                        help="run under cProfile; dump pstats to PATH")
+    parser.add_argument("--quick", action="store_true",
+                        help="profile mode: reduced, CI-sized sweep")
+    parser.add_argument("--memory", action="store_true",
+                        help="profile mode: attach tracemalloc")
     return parser
+
+
+def _perf_history(json_out: str) -> list:
+    """Carry the perf record of previous runs of *json_out* forward, so
+    the committed trajectory keeps its own before/after trail."""
+    try:
+        with open(json_out) as fh:
+            previous = json.load(fh)
+    except (OSError, ValueError):
+        return []
+    history = list(previous.get("perf", {}).get("history", []))
+    totals = previous.get("totals", {})
+    wall = totals.get("wall_s", 0.0)
+    events = totals.get("events", 0)
+    if wall and events:
+        history.append({
+            "wall_s": wall,
+            "events": events,
+            "events_per_s": events / wall,
+            "jobs": previous.get("jobs"),
+        })
+    return history[-10:]
+
+
+def _profile_main(args) -> int:
+    from repro.bench import profile as profile_mod
+
+    if len(args.names) != 2:
+        print("usage: python -m repro.bench profile <artifact>|kernel "
+              "[--quick] [--memory] [--profile-out PATH] [--json OUT]",
+              file=sys.stderr)
+        return 2
+    try:
+        report = profile_mod.profile_artifact(
+            args.names[1], quick=args.quick,
+            profile_out=args.profile_out, memory=args.memory)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(profile_mod.render_report(report))
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote profile report to {args.json_out}", file=sys.stderr)
+    return 0
 
 
 def main(argv=None) -> int:
@@ -172,6 +238,8 @@ def main(argv=None) -> int:
         print(__doc__.strip())
         print("\navailable artifacts:", ", ".join(sorted(ARTIFACTS)))
         return 0
+    if args.names[0] == "profile":
+        return _profile_main(args)
     run_all = args.names == ["all"]
     names = sorted(ARTIFACTS) if run_all else args.names
     unknown = [n for n in names if n not in ARTIFACTS]
@@ -182,24 +250,51 @@ def main(argv=None) -> int:
 
     cache = None if args.no_cache else ResultCache(args.cache)
     runner = SweepRunner(jobs=args.jobs, cache=cache)
+    profiler = cProfile.Profile() if args.profile_out else None
     start = time.perf_counter()
-    for name in names:
-        print(ARTIFACTS[name](runner))
-        print()
+    if profiler:
+        profiler.enable()
+    try:
+        for name in names:
+            print(ARTIFACTS[name](runner))
+            print()
+    finally:
+        if profiler:
+            profiler.disable()
+            profiler.dump_stats(args.profile_out)
+    wall = time.perf_counter() - start
+    if profiler:
+        print(f"pstats written to {args.profile_out} "
+              f"(inspect: python -m pstats {args.profile_out})",
+              file=sys.stderr)
 
     json_out = args.json_out or (DEFAULT_JSON_OUT if run_all else None)
     if json_out:
+        from repro.bench.profile import perf_section
+
+        history = _perf_history(json_out)
         trajectory = runner.trajectory()
         trajectory["cli"] = {
             "artifacts": names,
-            "wall_s": time.perf_counter() - start,
+            "wall_s": wall,
             "cache_hits": 0 if cache is None else cache.hits,
             "cache_misses": 0 if cache is None else cache.misses,
         }
+        perf = perf_section(runner.records, wall)
+        perf["history"] = history
+        trajectory["perf"] = perf
         with open(json_out, "w") as fh:
             json.dump(trajectory, fh, indent=2, sort_keys=True)
         print(f"wrote trajectory for {len(runner.records)} points "
               f"to {json_out}", file=sys.stderr)
+    if run_all:
+        events = sum(r.events for r in runner.records if not r.cached)
+        run_wall = sum(r.wall_s for r in runner.records if not r.cached)
+        rate = events / run_wall / 1e3 if run_wall > 0 else 0.0
+        cached_n = sum(1 for r in runner.records if r.cached)
+        print(f"all: {len(runner.records)} points ({cached_n} cached), "
+              f"{events} events in {wall:.2f}s — {rate:.1f}k events/s, "
+              f"tracer.dropped={Tracer.total_dropped}", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,279 @@
+"""Profiling harness: kernel microbenchmarks and artifact profiles.
+
+The simulator's cost is almost entirely the discrete-event kernel, so the
+first-class performance metric is **events per second of wall clock** (and
+its inverse, ns/event).  This module measures it three ways:
+
+- *microbenchmarks* — synthetic workloads that isolate one kernel path
+  (sleep fast path, scheduled callbacks, a full collective through the
+  whole CCLO/network stack);
+- *artifact profiles* — run a real evaluation artifact (``fig07`` …)
+  under the events/sec meter, optionally with :mod:`cProfile` and
+  :mod:`tracemalloc` attached;
+- the ``perf`` section of ``BENCH_results.json`` — written by
+  ``python -m repro.bench all`` via :func:`perf_section`.
+
+CLI::
+
+    python -m repro.bench profile fig07            # full artifact profile
+    python -m repro.bench profile fig07 --quick    # reduced sweep, CI-sized
+    python -m repro.bench profile kernel           # microbenchmarks only
+    python -m repro.bench profile fig16 --profile-out fig16.pstats --memory
+"""
+
+from __future__ import annotations
+
+import cProfile
+import time
+import tracemalloc
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import units
+from repro.sim.kernel import Environment
+
+#: synthetic events per microbenchmark run (``--quick`` divides by 10)
+_MICRO_EVENTS = 200_000
+#: collectives per op-throughput run (``--quick`` divides by 4)
+_MICRO_OPS = 24
+
+
+# ---------------------------------------------------------------------------
+# events/sec meter
+# ---------------------------------------------------------------------------
+
+def measure(fn: Callable[[], Any], label: str = "run") -> Dict[str, Any]:
+    """Run *fn* and report wall time against the kernel's event counters.
+
+    ``events_per_s``/``ns_per_event`` use the class-wide counters on
+    :class:`~repro.sim.kernel.Environment`, so everything the callable
+    simulates — across any number of environments — is accounted.
+    """
+    events0 = Environment.total_events_processed
+    sim0 = Environment.total_sim_time
+    start = time.perf_counter()
+    value = fn()
+    wall = time.perf_counter() - start
+    events = Environment.total_events_processed - events0
+    report = {
+        "label": label,
+        "wall_s": wall,
+        "events": events,
+        "sim_s": Environment.total_sim_time - sim0,
+        "events_per_s": events / wall if wall > 0 else 0.0,
+        "ns_per_event": wall / events * 1e9 if events else 0.0,
+    }
+    return {"report": report, "value": value}
+
+
+# ---------------------------------------------------------------------------
+# microbenchmarks
+# ---------------------------------------------------------------------------
+
+def bench_sleep_path(n_events: int = _MICRO_EVENTS) -> Dict[str, Any]:
+    """Process sleep fast path: N ``yield <float>`` resumptions."""
+    env = Environment()
+    n_procs = 4
+    per_proc = n_events // n_procs
+
+    def ticker():
+        for _ in range(per_proc):
+            yield 1e-6
+
+    def run():
+        for _ in range(n_procs):
+            env.process(ticker())
+        env.run()
+
+    return measure(run, "sleep-path")["report"]
+
+
+def bench_timeout_events(n_events: int = _MICRO_EVENTS) -> Dict[str, Any]:
+    """Classic event objects: N ``yield env.timeout(dt)`` resumptions."""
+    env = Environment()
+    n_procs = 4
+    per_proc = n_events // n_procs
+
+    def ticker():
+        for _ in range(per_proc):
+            yield env.timeout(1e-6)
+
+    def run():
+        for _ in range(n_procs):
+            env.process(ticker())
+        env.run()
+
+    return measure(run, "timeout-events")["report"]
+
+
+def bench_scheduled_callbacks(n_events: int = _MICRO_EVENTS) -> Dict[str, Any]:
+    """Bare callback chain: each fire reschedules itself."""
+    env = Environment()
+    remaining = [n_events]
+
+    def tick():
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            env.schedule_callback(1e-6, tick)
+
+    def run():
+        env.schedule_callback(0.0, tick)
+        env.run()
+
+    return measure(run, "scheduled-callbacks")["report"]
+
+
+def bench_collective_ops(ops: int = _MICRO_OPS) -> Dict[str, Any]:
+    """Full-stack allreduce throughput: cluster build + 4-rank collective,
+    measured in collective ops per second of wall clock."""
+    from repro.bench.harness import accl_collective_time
+
+    def run():
+        for _ in range(ops):
+            accl_collective_time("allreduce", 4 * units.KIB, n_nodes=4)
+
+    report = measure(run, "collective-ops")["report"]
+    report["ops"] = ops
+    report["ops_per_s"] = ops / report["wall_s"] if report["wall_s"] else 0.0
+    return report
+
+
+def run_microbenchmarks(quick: bool = False) -> List[Dict[str, Any]]:
+    """All kernel microbenchmarks; ``quick`` shrinks them ~10x for CI."""
+    n = _MICRO_EVENTS // 10 if quick else _MICRO_EVENTS
+    ops = _MICRO_OPS // 4 if quick else _MICRO_OPS
+    return [
+        bench_sleep_path(n),
+        bench_timeout_events(n),
+        bench_scheduled_callbacks(n),
+        bench_collective_ops(ops),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# artifact profiles
+# ---------------------------------------------------------------------------
+
+#: ``--quick`` keyword overrides per artifact: small enough for a CI smoke
+#: run, large enough that the events/sec figure is stable (~100k events).
+_QUICK_KWARGS: Dict[str, Dict[str, Any]] = {
+    "fig07": {"sizes": [64 * units.KIB, units.MIB, 16 * units.MIB]},
+    "fig16": {"sizes": (2048, 4096)},
+}
+
+
+def _artifact_functions() -> Dict[str, Callable]:
+    from repro.bench import harness
+
+    return {
+        "fig07": harness.run_fig07_sendrecv_throughput,
+        "fig08": harness.run_fig08_invocation_latency,
+        "fig09": harness.run_fig09_f2f_breakdown,
+        "fig10": harness.run_fig10_f2f_collectives,
+        "fig11": harness.run_fig11_h2h_collectives,
+        "fig12": harness.run_fig12_reduce_scalability,
+        "fig13": harness.run_fig13_tcp_xrt,
+        "fig16": harness.run_fig16_vecmat,
+        "fig17": harness.run_fig17_dlrm,
+    }
+
+
+def profile_artifact(
+    name: str,
+    quick: bool = False,
+    profile_out: Optional[str] = None,
+    memory: bool = False,
+) -> Dict[str, Any]:
+    """Profile one artifact (or ``"kernel"`` for microbenchmarks only).
+
+    Returns a report dict with the events/sec metrics, plus optional
+    ``memory`` (tracemalloc current/peak) and ``profile_out`` (pstats dump
+    path) entries.
+    """
+    from repro.bench.runner import SweepRunner
+
+    if name == "kernel":
+        return {"artifact": "kernel", "quick": quick,
+                "microbenchmarks": run_microbenchmarks(quick)}
+
+    functions = _artifact_functions()
+    if name not in functions:
+        raise KeyError(
+            f"unknown artifact {name!r}; profileable: "
+            f"{', '.join(sorted(functions))}, kernel")
+    kwargs = dict(_QUICK_KWARGS.get(name, {})) if quick else {}
+    runner = SweepRunner(jobs=1, cache=None)  # profiling wants cold points
+
+    profiler = cProfile.Profile() if profile_out else None
+    if memory:
+        tracemalloc.start()
+    if profiler:
+        profiler.enable()
+    try:
+        measured = measure(
+            lambda: functions[name](runner=runner, **kwargs), name)
+    finally:
+        if profiler:
+            profiler.disable()
+        if memory:
+            mem_current, mem_peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+
+    report = measured["report"]
+    report.update(artifact=name, quick=quick, points=len(runner.records))
+    if memory:
+        report["memory"] = {"current_bytes": mem_current,
+                            "peak_bytes": mem_peak}
+    if profiler:
+        profiler.dump_stats(profile_out)
+        report["profile_out"] = profile_out
+    return report
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+def perf_section(records, wall_s: float) -> Dict[str, Any]:
+    """The ``perf`` block of ``BENCH_results.json`` for a finished sweep."""
+    events = sum(r.events for r in records if not r.cached)
+    run_wall = sum(r.wall_s for r in records if not r.cached)
+    return {
+        "wall_s": wall_s,
+        "events": events,
+        "events_per_s": events / run_wall if run_wall > 0 else 0.0,
+        "ns_per_event": run_wall / events * 1e9 if events else 0.0,
+    }
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`profile_artifact` report."""
+    lines = []
+    micro = report.get("microbenchmarks")
+    if micro is not None:
+        lines.append("kernel microbenchmarks"
+                     + (" (--quick)" if report.get("quick") else ""))
+        for row in micro:
+            line = (f"  {row['label']:<20} {row['events']:>9} events in "
+                    f"{row['wall_s']:.3f}s = {row['events_per_s']/1e3:8.1f}k "
+                    f"ev/s ({row['ns_per_event']:.0f} ns/event)")
+            if "ops_per_s" in row:
+                line += f", {row['ops_per_s']:.1f} collective-op/s"
+            lines.append(line)
+        return "\n".join(lines)
+
+    lines.append(
+        f"{report['artifact']}"
+        + (" (--quick)" if report.get("quick") else "")
+        + f": {report['points']} points, {report['events']} events in "
+        f"{report['wall_s']:.2f}s wall / {report['sim_s']:.4f}s simulated")
+    lines.append(
+        f"  {report['events_per_s']/1e3:.1f}k events/s, "
+        f"{report['ns_per_event']:.0f} ns/event")
+    mem = report.get("memory")
+    if mem:
+        lines.append(f"  tracemalloc peak {mem['peak_bytes']/1e6:.1f} MB "
+                     f"(current {mem['current_bytes']/1e6:.1f} MB)")
+    if report.get("profile_out"):
+        lines.append(f"  pstats written to {report['profile_out']} "
+                     f"(inspect: python -m pstats {report['profile_out']})")
+    return "\n".join(lines)

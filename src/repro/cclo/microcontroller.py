@@ -114,8 +114,12 @@ class FirmwareContext:
 
     # -- uC costs ----------------------------------------------------------------
 
-    def cost(self, instructions: int = 1) -> Event:
-        """Charge sequential uC time for *instructions* coarse steps."""
+    def cost(self, instructions: int = 1) -> float:
+        """Charge sequential uC time for *instructions* coarse steps.
+
+        Returns a plain delay for the firmware to ``yield`` — the kernel's
+        allocation-free sleep path.
+        """
         return self.uc.charge(instructions)
 
     # -- protocol selection --------------------------------------------------------
@@ -364,10 +368,10 @@ class MicroController:
         self.commands_executed = 0
         env.process(self._dispatch_loop(), name=f"{name}.loop")
 
-    def charge(self, instructions: int = 1) -> Event:
-        """Reserve sequential uC execution time."""
+    def charge(self, instructions: int = 1) -> float:
+        """Reserve sequential uC execution time; returns a yieldable delay."""
         done = self._uc_time.reserve(instructions)
-        return self.env.timeout(done - self.env.now)
+        return done - self.env.now
 
     def call(self, args: CollectiveArgs) -> Event:
         """Enqueue a command; the event fires when its firmware finishes."""

@@ -38,8 +38,10 @@ class TxSystem:
         self.name = name
         self.messages_sent = 0
 
-    def _fsm(self) -> Event:
-        return self.env.timeout(self.config.cycles(self.config.txrx_fsm_cycles))
+    def _fsm(self) -> float:
+        # Yielded directly by the send processes: a plain float takes the
+        # kernel's allocation-free sleep path.
+        return self.config.cycles(self.config.txrx_fsm_cycles)
 
     def send_eager(self, signature: Signature, dest_addr: int,
                    data: Any = None, pace: Any = None) -> Event:
@@ -160,15 +162,13 @@ class RxSystem:
             )
 
             def uc_handled():
-                yield self.env.timeout(fsm)
+                yield fsm
                 yield self.uc_charge(instructions)
                 self._dispatch(signature, data)
 
             self.env.process(uc_handled(), name=f"{self.name}.uc_rx")
         else:
-            self.env.schedule_callback(
-                fsm, lambda: self._dispatch(signature, data)
-            )
+            self.env.schedule_callback(fsm, self._dispatch, signature, data)
 
     def _dispatch(self, signature: Signature, data: Any) -> None:
         kind = signature.msg_type

@@ -102,13 +102,20 @@ class Memory:
 
     def read(self, nbytes: int) -> Event:
         """Event completing when *nbytes* have been read from the port."""
-        done = self._port.reserve(nbytes) + self.access_latency
-        return self.env.timeout(done - self.env.now, value=nbytes)
+        return self.env.timeout(self.access_delay(nbytes), value=nbytes)
 
     def write(self, nbytes: int) -> Event:
         """Event completing when *nbytes* have been written via the port."""
-        done = self._port.reserve(nbytes) + self.access_latency
-        return self.env.timeout(done - self.env.now, value=nbytes)
+        return self.env.timeout(self.access_delay(nbytes), value=nbytes)
+
+    def access_delay(self, nbytes: int) -> float:
+        """Reserve the port and return the completion delay from *now*.
+
+        Same reservation as :meth:`read`/:meth:`write` but without an event —
+        platforms composing several pipe stages into one completion use this
+        to avoid scheduling intermediate events nobody waits on.
+        """
+        return self._port.reserve(nbytes) + self.access_latency - self.env.now
 
     def access_time(self, nbytes: int) -> float:
         """Analytic cost of one access if issued now (no reservation)."""

@@ -48,19 +48,28 @@ class PcieLink:
     def bytes_d2h(self) -> int:
         return self._d2h.bytes_moved
 
-    def _dma(self, pipe: BandwidthResource, nbytes: int) -> Event:
+    def _dma_delay(self, pipe: BandwidthResource, nbytes: int) -> float:
         if nbytes < 0:
             raise ValueError(f"negative DMA size: {nbytes}")
-        done = pipe.reserve(nbytes) + self.dma_latency
-        return self.env.timeout(done - self.env.now, value=nbytes)
+        return pipe.reserve(nbytes) + self.dma_latency - self.env.now
 
     def dma_h2d(self, nbytes: int) -> Event:
         """Host -> device DMA; event fires at completion."""
-        return self._dma(self._h2d, nbytes)
+        return self.env.timeout(self._dma_delay(self._h2d, nbytes),
+                                value=nbytes)
 
     def dma_d2h(self, nbytes: int) -> Event:
         """Device -> host DMA; event fires at completion."""
-        return self._dma(self._d2h, nbytes)
+        return self.env.timeout(self._dma_delay(self._d2h, nbytes),
+                                value=nbytes)
+
+    def dma_h2d_delay(self, nbytes: int) -> float:
+        """Like :meth:`dma_h2d` but returns the delay without an event."""
+        return self._dma_delay(self._h2d, nbytes)
+
+    def dma_d2h_delay(self, nbytes: int) -> float:
+        """Like :meth:`dma_d2h` but returns the delay without an event."""
+        return self._dma_delay(self._d2h, nbytes)
 
     def dma_time(self, nbytes: int, direction: str = "h2d") -> float:
         """Analytic one-shot DMA duration on an idle link."""

@@ -8,7 +8,8 @@ after an additional fixed propagation/PHY latency.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
 
 from repro.errors import NetworkError
 from repro.sim import BandwidthResource, Environment
@@ -37,6 +38,7 @@ class Link:
         rate: float = units.gbps(100),
         latency: float = units.ns(500),
         name: str = "link",
+        coalesce: bool = True,
     ):
         if latency < 0:
             raise ValueError(f"negative latency: {latency}")
@@ -44,9 +46,16 @@ class Link:
         self.rate = rate
         self.latency = latency
         self.name = name
+        self.coalesce = coalesce
         self._pipe = BandwidthResource(env, rate, name=f"{name}.pipe")
         self._sink: Optional[Callable[[Segment], None]] = None
         self.segments_carried = 0
+        # Delivery pump state (coalesced path): in-flight segments with their
+        # delivery times.  The pipe is FIFO and the latency constant, so
+        # delivery times are strictly increasing within one link and a single
+        # self-rescheduling heap entry can drain the queue in order.
+        self._in_flight: Deque[Tuple[float, Segment]] = deque()
+        self._pump_scheduled = False
 
     def connect(self, sink: Callable[[Segment], None]) -> None:
         """Attach the receiving side; exactly one sink per link."""
@@ -76,14 +85,33 @@ class Link:
                 f"{self.MAX_SEGMENT_BYTES}B link segment bound; "
                 "protocol engines must segment large messages"
             )
+        env = self.env
         egress_done = self._pipe.reserve(segment.wire_bytes)
         self.segments_carried += 1
         deliver_at = egress_done + self.latency
-        sink = self._sink
-        self.env.schedule_callback(
-            deliver_at - self.env.now, lambda: sink(segment)
-        )
+        if self.coalesce:
+            # A back-to-back segment train keeps one heap entry alive instead
+            # of one per segment: the pump delivers each segment at its exact
+            # reserved time, so timing and per-link order are unchanged.  The
+            # stored fire time reproduces the relative path's float rounding
+            # (now + (deliver_at - now)) bit-for-bit.
+            fire_at = env.now + (deliver_at - env.now)
+            self._in_flight.append((fire_at, segment))
+            if not self._pump_scheduled:
+                self._pump_scheduled = True
+                env.schedule_callback_at(fire_at, self._pump)
+        else:
+            env.schedule_callback(deliver_at - env.now, self._sink, segment)
         return egress_done
+
+    def _pump(self) -> None:
+        in_flight = self._in_flight
+        _deliver_at, segment = in_flight.popleft()
+        self._sink(segment)
+        if in_flight:
+            self.env.schedule_callback_at(in_flight[0][0], self._pump)
+        else:
+            self._pump_scheduled = False
 
     def __repr__(self) -> str:
         return f"<Link {self.name!r} {units.to_gbps(self.rate):.0f} Gb/s>"

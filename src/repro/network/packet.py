@@ -14,7 +14,6 @@ O(message/segment_size) event cost.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -25,7 +24,7 @@ DEFAULT_MTU = 1500
 """Standard Ethernet MTU used by the 100G stacks in the paper's cluster."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Segment:
     """A burst of frames from ``src`` to ``dst``.
 
@@ -37,6 +36,11 @@ class Segment:
         meta: protocol-private descriptor (header object, message signature).
         data: optional real payload (numpy slice) carried end-to-end.
         mtu: frame payload size used to derive the frame count.
+
+    Segments are the per-hop currency of the fabric — a large sweep makes
+    millions — so the class is slotted and the derived frame counts are
+    computed once at construction instead of per property access.  Fields
+    are treated as immutable after construction.
     """
 
     src: int
@@ -48,22 +52,20 @@ class Segment:
     mtu: int = DEFAULT_MTU
     seqno: int = 0
     header_bytes: int = field(default=ETHERNET_HEADER_BYTES)
+    #: number of MTU frames this segment stands for (>= 1); derived.
+    n_frames: int = field(init=False, compare=False, default=1)
+    #: bytes occupying the wire, headers included; derived.
+    wire_bytes: int = field(init=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
-        if self.payload_bytes < 0:
-            raise ValueError(f"negative payload: {self.payload_bytes}")
+        payload = self.payload_bytes
+        if payload < 0:
+            raise ValueError(f"negative payload: {payload}")
         if self.mtu <= 0:
             raise ValueError(f"MTU must be positive, got {self.mtu}")
-
-    @property
-    def n_frames(self) -> int:
-        """Number of MTU frames this segment stands for (>= 1)."""
-        return max(1, math.ceil(self.payload_bytes / self.mtu))
-
-    @property
-    def wire_bytes(self) -> int:
-        """Bytes occupying the wire, headers included."""
-        return self.payload_bytes + self.n_frames * self.header_bytes
+        frames = -(-payload // self.mtu) if payload else 1
+        self.n_frames = frames
+        self.wire_bytes = payload + frames * self.header_bytes
 
     def __repr__(self) -> str:
         return (

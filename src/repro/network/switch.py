@@ -64,9 +64,7 @@ class Switch:
                 f"switch {self.name!r}: no route to address {segment.dst}"
             )
         self.segments_forwarded += 1
-        self.env.schedule_callback(
-            self.forwarding_latency, lambda: egress.send(segment)
-        )
+        self.env.schedule_callback(self.forwarding_latency, egress.send, segment)
 
     def __repr__(self) -> str:
         return f"<Switch {self.name!r} ports={self.port_count}>"

@@ -149,21 +149,16 @@ class CoyotePlatform(BasePlatform):
             self.tlb.translate(first_page + i) for i in range(pages_touched)
         )
         if buffer.location is BufferLocation.DEVICE:
-            port = self.device_memory
-            mem_done = (
-                port.read(nbytes) if direction == "read" else port.write(nbytes)
-            )
-            return self.env.timeout(translate + mem_done.delay)
+            mem_delay = self.device_memory.access_delay(nbytes)
+            return self.env.timeout(translate + mem_delay)
         # Host memory: the access crosses PCIe and touches DRAM; both pipes
         # are charged, completion follows the slower one.
+        dram_delay = self.host_memory.access_delay(nbytes)
         if direction == "read":
-            dram = self.host_memory.read(nbytes)
-            pcie_done = self.pcie.dma_h2d(nbytes)  # host -> FPGA direction
+            pcie_delay = self.pcie.dma_h2d_delay(nbytes)  # host -> FPGA
         else:
-            dram = self.host_memory.write(nbytes)
-            pcie_done = self.pcie.dma_d2h(nbytes)  # FPGA -> host direction
-        latest = max(dram.delay, pcie_done.delay)
-        return self.env.timeout(translate + latest)
+            pcie_delay = self.pcie.dma_d2h_delay(nbytes)  # FPGA -> host
+        return self.env.timeout(translate + max(dram_delay, pcie_delay))
 
     def requires_staging(self, buffer: BaseBuffer) -> bool:
         return False  # unified memory: the CCLO reaches host pages directly

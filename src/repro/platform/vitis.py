@@ -88,9 +88,7 @@ class VitisPlatform(BasePlatform):
                 "partitioned memory: host buffer must be staged to device "
                 "memory before the CCLO can read it (call stage_in)"
             )
-        port = self.device_memory
-        done = port.read(nbytes) if direction == "read" else port.write(nbytes)
-        return self.env.timeout(done.delay)
+        return self.env.timeout(self.device_memory.access_delay(nbytes))
 
     def requires_staging(self, buffer: BaseBuffer) -> bool:
         return buffer.location is BufferLocation.HOST
@@ -100,19 +98,19 @@ class VitisPlatform(BasePlatform):
         if buffer.location is BufferLocation.DEVICE:
             return self.env.timeout(0.0)
         self.stagings += 1
-        read = self.host_memory.read(buffer.nbytes)
-        dma = self.pcie.dma_h2d(buffer.nbytes)
-        write = self.device_memory.write(buffer.nbytes)
+        read = self.host_memory.access_delay(buffer.nbytes)
+        dma = self.pcie.dma_h2d_delay(buffer.nbytes)
+        write = self.device_memory.access_delay(buffer.nbytes)
         buffer.staged = True
-        return self.env.timeout(max(read.delay, dma.delay, write.delay))
+        return self.env.timeout(max(read, dma, write))
 
     def stage_out(self, buffer: BaseBuffer) -> Event:
         """Device -> host migration through XDMA (after the collective)."""
         if buffer.location is BufferLocation.DEVICE:
             return self.env.timeout(0.0)
         self.stagings += 1
-        read = self.device_memory.read(buffer.nbytes)
-        dma = self.pcie.dma_d2h(buffer.nbytes)
-        write = self.host_memory.write(buffer.nbytes)
+        read = self.device_memory.access_delay(buffer.nbytes)
+        dma = self.pcie.dma_d2h_delay(buffer.nbytes)
+        write = self.host_memory.access_delay(buffer.nbytes)
         buffer.staged = False
-        return self.env.timeout(max(read.delay, dma.delay, write.delay))
+        return self.env.timeout(max(read, dma, write))

@@ -156,26 +156,35 @@ class BasePoe:
         )
 
     def _tx_process(self, header: MessageHeader, data: Any, pace: Any = None):
-        yield self.env.timeout(self.poe_latency)
+        # Plain-float yields take the kernel's allocation-free sleep path;
+        # this loop runs once per 32 KiB segment and dominates big transfers.
+        yield self.poe_latency
+        env = self.env
+        endpoint_send = self.endpoint.send
+        address = self.address
+        dst_addr = header.dst_addr
+        protocol_name = self.protocol_name
+        mtu = self.mtu
+        segment_bytes = self.segment_bytes
         remaining = header.nbytes
         seqno = 0
         sent_any = False
         while remaining > 0 or not sent_any:
-            chunk = min(remaining, self.segment_bytes) if remaining else 0
+            chunk = min(remaining, segment_bytes) if remaining else 0
             if pace is not None and chunk > 0:
                 yield pace.take(chunk)
             yield from self._tx_flow_control(header, chunk)
             segment = Segment(
-                src=self.address,
-                dst=header.dst_addr,
+                src=address,
+                dst=dst_addr,
                 payload_bytes=chunk,
-                protocol=self.protocol_name,
+                protocol=protocol_name,
                 meta=header,
                 data=data if seqno == 0 else None,
-                mtu=self.mtu,
+                mtu=mtu,
                 seqno=seqno,
             )
-            egress_done = self.endpoint.send(segment)
+            egress_done = endpoint_send(segment)
             yield from self._tx_post_segment(header, segment)
             remaining -= chunk
             seqno += 1
@@ -183,7 +192,8 @@ class BasePoe:
             if remaining > 0:
                 # Pace the next segment to the serializer: prevents flooding
                 # the heap, keeps FIFO fairness between concurrent messages.
-                yield self.env.timeout(max(0.0, egress_done - self.env.now))
+                pause = egress_done - env.now
+                yield pause if pause > 0.0 else 0.0
         return header
 
     def _tx_flow_control(self, header: MessageHeader, chunk: int):
@@ -213,10 +223,13 @@ class BasePoe:
             del self._rx_state[key]
             self.messages_received += 1
             self.env.schedule_callback(
-                self.poe_latency,
-                lambda: self._deliver(header,
-                                      DeferredPayload.resolve(state.data)),
+                self.poe_latency, self._deliver_resolved, header, state.data
             )
+
+    def _deliver_resolved(self, header: MessageHeader, data: Any) -> None:
+        # Resolution happens at delivery time, not scheduling time: a
+        # cut-through producer may fill a DeferredPayload in between.
+        self._deliver(header, DeferredPayload.resolve(data))
 
     def _on_segment_delivered(self, segment: Segment) -> None:
         """Subclass hook: receive-side per-segment work (acks/credits)."""

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from repro.errors import ProtocolError
+from repro.network.packet import Segment
 from repro.protocols.base import BasePoe, MessageHeader
 from repro.sim import Event
 from repro.sim.resources import TokenBucket
@@ -164,7 +165,6 @@ class RdmaPoe(BasePoe):
     def _on_segment_delivered(self, segment) -> None:
         if segment.payload_bytes == 0:
             return
-        header: MessageHeader = segment.meta
         credit_hdr = MessageHeader(
             msg_id=0,
             src_addr=self.address,
@@ -173,10 +173,8 @@ class RdmaPoe(BasePoe):
             kind="credit",
             meta=segment.payload_bytes,
         )
-        from repro.network.packet import Segment as _Segment
-
         self.endpoint.send(
-            _Segment(
+            Segment(
                 src=self.address,
                 dst=segment.src,
                 payload_bytes=16,

@@ -4,7 +4,7 @@ The design follows SimPy's proven model closely enough that anyone familiar
 with SimPy can read the rest of the codebase, but it is written from scratch
 and trimmed to what the ACCL+ simulation needs:
 
-- an event heap ordered by ``(time, priority, sequence)``;
+- an event heap ordered by ``(time, sequence)``;
 - :class:`Event` objects with success/failure values and callback lists;
 - :class:`Process` coroutines that suspend on yielded events and may be
   interrupted (used for TCP retransmission timers);
@@ -12,11 +12,39 @@ and trimmed to what the ACCL+ simulation needs:
 
 Time is a ``float`` in **seconds**; components express their own constants in
 ns/us via the helpers in :mod:`repro.units`.
+
+Hot-path design notes
+---------------------
+
+The kernel is the simulator's constant factor: large sweeps process millions
+of events, so a handful of attribute lookups per event is measurable in wall
+time.  Three fast paths keep the per-event cost low without changing any
+observable ordering:
+
+- :meth:`Environment.schedule_callback` pushes a bare ``(fn, args)`` tuple on
+  the heap instead of constructing a :class:`Timeout` plus closure.  The main
+  loop type-checks the popped entry and calls the function directly.  A
+  sequence number is still consumed at the same point an event would have
+  been scheduled, so same-timestamp ordering is identical to the event path.
+- Events allocate no callback list up front: ``callbacks`` holds a shared
+  sentinel while empty, the bare callable for the (dominant) single-waiter
+  case, and only upgrades to a list for multiple waiters.
+- Processes may ``yield`` a plain ``float`` delay instead of a
+  :class:`Timeout`.  The kernel schedules the wakeup as a callback tuple —
+  zero event allocations for a plain sleep, which dominates protocol pacing
+  loops.  Interrupts remain safe: a monotonically increasing sleep token
+  invalidates stale wakeups.
+
+``Environment.run`` inlines the event dispatch loop (rather than calling
+:meth:`Environment.step` per event) and flushes the process-wide counters
+once on exit; the counters are exact at every point ``run`` returns or
+raises.
 """
 
 from __future__ import annotations
 
 import heapq
+from heapq import heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 
@@ -37,6 +65,15 @@ class Interrupt(Exception):
 
 PENDING = object()  # sentinel: event value not yet decided
 
+#: shared sentinel meaning "no callbacks registered yet" — distinct from
+#: ``None``, which means "already processed".  Using one shared object lets
+#: ``Event.__init__`` skip allocating a list that most events never need.
+_NO_CALLBACKS = object()
+
+#: sentinel target for a process suspended on a plain-delay sleep (the fast
+#: path has no Event object for ``interrupt`` to detach from).
+_SLEEPING = object()
+
 
 class Event:
     """A one-shot occurrence that processes can wait on.
@@ -45,13 +82,19 @@ class Event:
     (either succeeded with a value, or failed with an exception).  Once
     triggered it is scheduled on the environment's heap and its callbacks run
     when the heap pops it.
+
+    ``callbacks`` is polymorphic to keep the common cases allocation-free:
+    the :data:`_NO_CALLBACKS` sentinel while empty, a bare callable for one
+    waiter, a list for several, and ``None`` once processed.  All access goes
+    through :meth:`add_callback` / :attr:`processed`, so the representation
+    is private to the kernel.
     """
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.callbacks: Any = _NO_CALLBACKS
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
         self._scheduled = False
@@ -87,7 +130,11 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, delay)
+        if not self._scheduled:
+            self._scheduled = True
+            env = self.env
+            env._seq += 1
+            heappush(env._heap, (env._now + delay, env._seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -98,7 +145,11 @@ class Event:
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, delay)
+        if not self._scheduled:
+            self._scheduled = True
+            env = self.env
+            env._seq += 1
+            heappush(env._heap, (env._now + delay, env._seq, self))
         return self
 
     def defuse(self) -> None:
@@ -107,9 +158,31 @@ class Event:
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         """Run *fn(event)* when the event is processed."""
-        if self.callbacks is None:
+        cbs = self.callbacks
+        if cbs is _NO_CALLBACKS:
+            self.callbacks = fn
+        elif cbs is None:
             raise SimulationError(f"{self!r} has already been processed")
-        self.callbacks.append(fn)
+        elif type(cbs) is list:
+            cbs.append(fn)
+        else:
+            self.callbacks = [cbs, fn]
+
+    def _discard_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Remove *fn* if registered (used by :meth:`Process.interrupt`).
+
+        Comparison is by equality, not identity: bound methods are recreated
+        per attribute access, so two references to the same ``proc._resume``
+        are equal but not identical.
+        """
+        cbs = self.callbacks
+        if cbs is None or cbs is _NO_CALLBACKS:
+            return
+        if type(cbs) is list:
+            if fn in cbs:
+                cbs.remove(fn)
+        elif cbs == fn:
+            self.callbacks = _NO_CALLBACKS
 
     def __repr__(self) -> str:
         state = "pending"
@@ -126,19 +199,32 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + scheduling: timeouts are the most
+        # frequently constructed event type, so the super() call and the
+        # separate _schedule call are worth folding away.
+        self.env = env
+        self.callbacks = _NO_CALLBACKS
         self._value = value
-        self.env._schedule(self, delay)
+        self._ok = True
+        self._scheduled = True
+        self._defused = False
+        self.delay = delay
+        env._seq += 1
+        heappush(env._heap, (env._now + delay, env._seq, self))
 
 
 class Process(Event):
     """A running generator coroutine.  As an :class:`Event` it triggers when
     the generator returns (value = ``StopIteration`` value) or raises.
+
+    Besides events, the generator may yield a plain ``float``: the kernel
+    treats it as a delay in seconds and resumes the process after that long,
+    without constructing a :class:`Timeout`.  ``yield 0.0`` is a legal
+    reschedule-at-now.  Ints are *not* accepted (they stay a loud error, as
+    does any other non-event).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_sleep_token")
 
     def __init__(
         self,
@@ -150,14 +236,14 @@ class Process(Event):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
-        self._target: Optional[Event] = None
+        self._target: Optional[Any] = None
+        self._sleep_token = 0
         self.name = name or getattr(generator, "__name__", "process")
-        # Bootstrap: resume once at the current time.
-        init = Event(env)
-        init._ok = True
-        init._value = None
-        init.callbacks.append(self._resume)
-        env._schedule(init, 0.0)
+        # Bootstrap: resume once at the current time.  A callback tuple takes
+        # the sequence slot the old init-Event used, so start order at equal
+        # timestamps is unchanged.
+        env._seq += 1
+        heappush(env._heap, (env._now, env._seq, (self._bootstrap, ())))
 
     @property
     def is_alive(self) -> bool:
@@ -167,48 +253,96 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if not self.is_alive:
             raise SimulationError(f"{self!r} has already terminated")
-        if self._target is None:
-            raise SimulationError("cannot interrupt a process being initialized")
-        # Detach from the event we were waiting on, then resume with failure.
         target = self._target
-        if target.callbacks is not None and self._resume in target.callbacks:
-            target.callbacks.remove(self._resume)
+        if target is None:
+            raise SimulationError("cannot interrupt a process being initialized")
+        if target is _SLEEPING:
+            # Invalidate the pending fast-path wakeup.
+            self._sleep_token += 1
+        else:
+            # Detach from the event we were waiting on.
+            target._discard_callback(self._resume)
         wakeup = Event(self.env)
         wakeup._ok = False
         wakeup._value = Interrupt(cause)
         wakeup._defused = True
-        wakeup.callbacks.append(self._resume)
+        wakeup.callbacks = self._resume
         self.env._schedule(wakeup, 0.0)
+
+    def _bootstrap(self) -> None:
+        self._advance(True, None)
+
+    def _wake(self, token: int) -> None:
+        # Stale wakeups (the process was interrupted mid-sleep) are no-ops.
+        if token != self._sleep_token or self._value is not PENDING:
+            return
+        self._target = None
+        self._advance(True, None)
 
     def _resume(self, event: Event) -> None:
         self._target = None
+        if event._ok:
+            self._advance(True, event._value)
+        else:
+            event._defused = True
+            self._advance(False, event._value)
+
+    def _advance(self, ok: bool, value: Any) -> None:
+        env = self.env
+        send = self._generator.send
+        throw = self._generator.throw
         while True:
             try:
-                if event._ok:
-                    next_event = self._generator.send(event._value)
+                if ok:
+                    next_event = send(value)
                 else:
-                    event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = throw(value)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                self.env._schedule(self, 0.0)
+                env._schedule(self, 0.0)
                 return
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                self.env._schedule(self, 0.0)
+                env._schedule(self, 0.0)
                 return
 
+            if next_event.__class__ is float:
+                # Plain-delay sleep: schedule the wakeup as a callback tuple.
+                # Only exact floats take this path: ints stay rejected below
+                # so an accidental `yield n` does not silently become a
+                # year-long sleep.
+                if next_event < 0:
+                    raise SimulationError(
+                        f"process {self.name!r} yielded a negative delay: "
+                        f"{next_event!r}"
+                    )
+                self._sleep_token += 1
+                self._target = _SLEEPING
+                env._seq += 1
+                heappush(env._heap, (env._now + next_event, env._seq,
+                                     (self._wake, (self._sleep_token,))))
+                return
             if not isinstance(next_event, Event):
                 raise SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
-            if next_event.callbacks is None:
+            cbs = next_event.callbacks
+            if cbs is None:
                 # Already processed: resume immediately with its value.
-                event = next_event
+                if next_event._ok:
+                    ok, value = True, next_event._value
+                else:
+                    next_event._defused = True
+                    ok, value = False, next_event._value
                 continue
-            next_event.add_callback(self._resume)
+            if cbs is _NO_CALLBACKS:
+                next_event.callbacks = self._resume
+            elif type(cbs) is list:
+                cbs.append(self._resume)
+            else:
+                next_event.callbacks = [cbs, self._resume]
             self._target = next_event
             return
 
@@ -288,7 +422,9 @@ class Environment:
 
     #: process-wide instrumentation, accumulated across every Environment
     #: instance; the benchmark sweep runner reads deltas around each point
-    #: to report per-point event counts and simulated time.
+    #: to report per-point event counts and simulated time.  Heap entries of
+    #: both kinds (events and callback tuples) count as one processed event
+    #: each, so the metric is comparable across kernel versions.
     total_events_processed: int = 0
     total_sim_time: float = 0.0
 
@@ -307,13 +443,33 @@ class Environment:
             return
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        heappush(self._heap, (self._now + delay, self._seq, event))
 
-    def schedule_callback(self, delay: float, fn: Callable[[], None]) -> Event:
-        """Run *fn* after *delay* (a convenience for non-process components)."""
-        ev = Timeout(self, delay)
-        ev.add_callback(lambda _ev: fn())
-        return ev
+    def schedule_callback(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after *delay* (for non-process components).
+
+        This is the cheapest way to get control at a future time: no
+        :class:`Event` is constructed, only a tuple on the heap.  The
+        callback cannot be waited on; components that need a waitable handle
+        should use :meth:`timeout`.
+        """
+        self._seq += 1
+        heappush(self._heap, (self._now + delay, self._seq, (fn, args)))
+
+    def schedule_callback_at(self, time: float, fn: Callable,
+                             *args: Any) -> None:
+        """Like :meth:`schedule_callback` but at an *absolute* time.
+
+        Components that pre-compute a future timestamp (e.g. a link's
+        delivery pump) use this to fire at exactly that float, avoiding the
+        re-rounding a relative ``now + (time - now)`` round trip would add.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        self._seq += 1
+        heappush(self._heap, (time, self._seq, (fn, args)))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that succeeds after *delay* seconds."""
@@ -339,25 +495,35 @@ class Environment:
         """Process the single next event."""
         if not self._heap:
             raise SimulationError("no more events")
-        when, _seq, event = heapq.heappop(self._heap)
+        when, _seq, item = heapq.heappop(self._heap)
         Environment.total_events_processed += 1
         if when > self._now:
             Environment.total_sim_time += when - self._now
         self._now = when
-        callbacks = event.callbacks
-        event.callbacks = None
-        for fn in callbacks:
-            fn(event)
-        if event._ok is False and not event._defused:
+        if item.__class__ is tuple:
+            fn, args = item
+            fn(*args)
+            return
+        callbacks = item.callbacks
+        item.callbacks = None
+        if callbacks is not _NO_CALLBACKS:
+            if callbacks.__class__ is list:
+                for fn in callbacks:
+                    fn(item)
+            else:
+                callbacks(item)
+        if item._ok is False and not item._defused:
             # An unhandled failure: surface it instead of losing it silently.
-            raise event._value
+            raise item._value
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
 
         - ``until=None``: run until the heap drains.
         - ``until`` is an :class:`Event`: run until it triggers, return its value.
-        - ``until`` is a number: run until that simulation time.
+        - ``until`` is a number: run until that simulation time.  A stop time
+          equal to the current time returns immediately (no events are
+          processed); a stop time in the past raises :class:`SimulationError`.
         """
         stop_time = None
         stop_event = None
@@ -369,14 +535,45 @@ class Environment:
                 raise SimulationError(
                     f"until={stop_time} is in the past (now={self._now})"
                 )
-
-        while self._heap:
-            if stop_event is not None and stop_event.processed:
-                break
-            if stop_time is not None and self.peek() > stop_time:
-                self._now = stop_time
+            if stop_time == self._now:
                 return None
-            self.step()
+
+        # Inlined dispatch loop (same semantics as step()); counters are
+        # accumulated locally and flushed once, including on exceptions.
+        heap = self._heap
+        pop = heapq.heappop
+        no_cb = _NO_CALLBACKS
+        events_n = 0
+        sim_acc = 0.0
+        try:
+            while heap:
+                if stop_event is not None:
+                    if stop_event.callbacks is None:
+                        break
+                elif stop_time is not None and heap[0][0] > stop_time:
+                    break
+                when, _seq, item = pop(heap)
+                events_n += 1
+                prev = self._now
+                if when > prev:
+                    sim_acc += when - prev
+                self._now = when
+                if item.__class__ is tuple:
+                    item[0](*item[1])
+                    continue
+                callbacks = item.callbacks
+                item.callbacks = None
+                if callbacks is not no_cb:
+                    if callbacks.__class__ is list:
+                        for fn in callbacks:
+                            fn(item)
+                    else:
+                        callbacks(item)
+                if item._ok is False and not item._defused:
+                    raise item._value
+        finally:
+            Environment.total_events_processed += events_n
+            Environment.total_sim_time += sim_acc
 
         if stop_event is not None:
             if not stop_event.triggered:

@@ -132,30 +132,35 @@ class BandwidthResource:
 
     def transfer(self, nbytes: int) -> Event:
         """Occupy the pipe for *nbytes*; event succeeds at completion time."""
+        finish = self.reserve(nbytes)
+        return self.env.timeout(finish - self.env._now, value=nbytes)
+
+    def reserve(self, nbytes: int) -> float:
+        """Like :meth:`transfer` but returns the completion *time* without an
+        event — for components that aggregate several pipe stages analytically.
+
+        This is the hottest non-kernel function in a sweep (every segment on
+        every link lands here), so the busy-interval merge is inlined.
+        """
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
-        start = max(self._free_at, self.env.now)
+        now = self.env._now
+        free_at = self._free_at
+        start = free_at if free_at > now else now
         duration = self.overhead + nbytes / self.rate
         finish = start + duration
         self._free_at = finish
         self._busy_time += duration
         self._bytes_moved += nbytes
-        self._record_busy(start, finish)
-        return self.env.timeout(finish - self.env.now, value=nbytes)
-
-    def reserve(self, nbytes: int) -> float:
-        """Like :meth:`transfer` but returns the completion *time* without an
-        event — for components that aggregate several pipe stages analytically.
-        """
-        if nbytes < 0:
-            raise ValueError(f"negative transfer size: {nbytes}")
-        start = max(self._free_at, self.env.now)
-        duration = self.overhead + nbytes / self.rate
-        self._free_at = start + duration
-        self._busy_time += duration
-        self._bytes_moved += nbytes
-        self._record_busy(start, self._free_at)
-        return self._free_at
+        intervals = self._busy_intervals
+        if intervals:
+            last = intervals[-1]
+            if start <= last[1]:
+                if finish > last[1]:
+                    last[1] = finish
+                return finish
+        intervals.append([start, finish])
+        return finish
 
     def __repr__(self) -> str:
         gbps = self.rate * 8 / 1e9

@@ -49,6 +49,11 @@ class Tracer:
     long run — the part debugging actually needs — is always retained.
     """
 
+    #: process-wide eviction count across every tracer instance; the bench
+    #: CLI surfaces it in the run summary so a truncated trace is never
+    #: mistaken for a complete one.
+    total_dropped = 0
+
     def __init__(self, capacity: int = 100_000):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -60,6 +65,7 @@ class Tracer:
                **detail: Any) -> None:
         if len(self._events) == self.capacity:
             self.dropped += 1  # deque evicts the oldest event on append
+            Tracer.total_dropped += 1
         self._events.append(TraceEvent(
             time=time, component=component, event=event,
             detail=tuple(sorted(detail.items())),
