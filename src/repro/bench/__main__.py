@@ -7,7 +7,9 @@ Usage::
     python -m repro.bench all --jobs 8
     python -m repro.bench all --no-cache --json BENCH_results.json
     python -m repro.bench profile fig07 --quick
+    python -m repro.bench profile fig08 --quick --obs
     python -m repro.bench profile kernel
+    python -m repro.bench trace fig08 --trace-out trace.json
 
 Options::
 
@@ -31,6 +33,18 @@ Options::
                                the kernel microbenchmark suite
     --quick                    reduced sweep sized for a CI smoke job
     --memory                   attach tracemalloc, report current/peak
+    --obs                      also run with observability enabled; report
+                               the instrumentation overhead and, for traced
+                               artifacts, a phase-breakdown table
+
+``trace`` mode (see :mod:`repro.obs.capture`)::
+
+    trace <artifact>           replay the artifact's representative scenario
+                               with span tracing on; print per-collective
+                               phase breakdowns (uC / DMP / POE / wire)
+    --trace-out PATH           write Chrome trace-event JSON — open the file
+                               at https://ui.perfetto.dev
+    --metrics-out PATH         write the metrics registry as CSV
 """
 
 from __future__ import annotations
@@ -44,7 +58,6 @@ import time
 from repro.bench import formats, harness
 from repro.bench.cache import ResultCache
 from repro.bench.runner import SweepRunner
-from repro.trace import Tracer
 
 DEFAULT_CACHE_DIR = ".bench_cache"
 DEFAULT_JSON_OUT = "BENCH_results.json"
@@ -183,6 +196,12 @@ def _parser() -> argparse.ArgumentParser:
                         help="profile mode: reduced, CI-sized sweep")
     parser.add_argument("--memory", action="store_true",
                         help="profile mode: attach tracemalloc")
+    parser.add_argument("--obs", action="store_true",
+                        help="profile mode: measure observability overhead")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="trace mode: write Chrome trace JSON to PATH")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="trace mode: write the metrics registry CSV")
     return parser
 
 
@@ -219,7 +238,8 @@ def _profile_main(args) -> int:
     try:
         report = profile_mod.profile_artifact(
             args.names[1], quick=args.quick,
-            profile_out=args.profile_out, memory=args.memory)
+            profile_out=args.profile_out, memory=args.memory,
+            obs=args.obs)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -228,6 +248,43 @@ def _profile_main(args) -> int:
         with open(args.json_out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
         print(f"wrote profile report to {args.json_out}", file=sys.stderr)
+    return 0
+
+
+def _trace_main(args) -> int:
+    from repro.obs import capture
+    from repro.obs.export import (metrics_to_csv, render_phase_table,
+                                  write_chrome_trace)
+
+    if len(args.names) != 2:
+        print("usage: python -m repro.bench trace <artifact> "
+              "[--trace-out PATH] [--metrics-out PATH]", file=sys.stderr)
+        print("traceable:", ", ".join(capture.traceable_artifacts()),
+              file=sys.stderr)
+        return 2
+    try:
+        cap = capture.trace_artifact(args.names[1])
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    print(f"trace {cap.artifact}: {cap.description}")
+    summary = cap.obs.summary()
+    print(f"  {summary['spans']} spans over {len(cap.op_ids)} collectives, "
+          f"{summary['metrics']} metrics "
+          f"(unclosed={summary['unclosed_spans']}, "
+          f"dropped={summary['events_dropped']}+"
+          f"{summary['spans_dropped']})")
+    print()
+    print(render_phase_table(cap.breakdowns()))
+    if args.trace_out:
+        n = write_chrome_trace(cap.tracer, args.trace_out)
+        print(f"wrote {n} Chrome trace events to {args.trace_out} "
+              "(open at https://ui.perfetto.dev)", file=sys.stderr)
+    if args.metrics_out:
+        n = metrics_to_csv(cap.obs.registry, args.metrics_out)
+        print(f"wrote {n} metric rows to {args.metrics_out}",
+              file=sys.stderr)
     return 0
 
 
@@ -240,6 +297,8 @@ def main(argv=None) -> int:
         return 0
     if args.names[0] == "profile":
         return _profile_main(args)
+    if args.names[0] == "trace":
+        return _trace_main(args)
     run_all = args.names == ["all"]
     names = sorted(ARTIFACTS) if run_all else args.names
     unknown = [n for n in names if n not in ARTIFACTS]
@@ -292,9 +351,12 @@ def main(argv=None) -> int:
         run_wall = sum(r.wall_s for r in runner.records if not r.cached)
         rate = events / run_wall / 1e3 if run_wall > 0 else 0.0
         cached_n = sum(1 for r in runner.records if r.cached)
+        # Sum per-point drop counts: the class-wide Tracer.total_dropped is
+        # per-process and undercounts when points ran in pool workers.
+        dropped = sum(r.dropped for r in runner.records)
         print(f"all: {len(runner.records)} points ({cached_n} cached), "
               f"{events} events in {wall:.2f}s — {rate:.1f}k events/s, "
-              f"tracer.dropped={Tracer.total_dropped}", file=sys.stderr)
+              f"tracer.dropped={dropped}", file=sys.stderr)
     return 0
 
 

@@ -182,12 +182,17 @@ def profile_artifact(
     quick: bool = False,
     profile_out: Optional[str] = None,
     memory: bool = False,
+    obs: bool = False,
 ) -> Dict[str, Any]:
     """Profile one artifact (or ``"kernel"`` for microbenchmarks only).
 
     Returns a report dict with the events/sec metrics, plus optional
     ``memory`` (tracemalloc current/peak) and ``profile_out`` (pstats dump
-    path) entries.
+    path) entries.  With ``obs=True`` the artifact runs a second time with
+    the observability layer enabled, and the report gains an ``obs`` block:
+    instrumented events/sec, overhead vs the plain run, collected
+    metric/span counts, and — for artifacts with a traced scenario — a
+    per-collective phase breakdown.
     """
     from repro.bench.runner import SweepRunner
 
@@ -226,7 +231,49 @@ def profile_artifact(
     if profiler:
         profiler.dump_stats(profile_out)
         report["profile_out"] = profile_out
+    if obs:
+        report["obs"] = _measure_obs_overhead(name, functions[name], kwargs,
+                                              report)
     return report
+
+
+def _measure_obs_overhead(name: str, fn, kwargs: Dict[str, Any],
+                          baseline: Dict[str, Any]) -> Dict[str, Any]:
+    """Re-run *fn* with observability enabled; quantify the cost.
+
+    The baseline (disabled) run has already happened — that order keeps
+    the disabled path the one any warm-up effects favor *against*, so the
+    reported overhead is if anything pessimistic.
+    """
+    from repro.bench.runner import SweepRunner
+    from repro.obs import capture
+    from repro.obs import runtime as obs_runtime
+
+    bundle = obs_runtime.enable()
+    try:
+        runner = SweepRunner(jobs=1, cache=None)
+        measured = measure(lambda: fn(runner=runner, **kwargs),
+                           f"{name}+obs")
+        summary = bundle.summary()
+    finally:
+        obs_runtime.disable()
+
+    enabled = measured["report"]
+    base_rate = baseline["events_per_s"]
+    obs_rate = enabled["events_per_s"]
+    block = {
+        "events_per_s": obs_rate,
+        "ns_per_event": enabled["ns_per_event"],
+        "wall_s": enabled["wall_s"],
+        "events": enabled["events"],
+        "overhead_pct": ((base_rate / obs_rate - 1.0) * 100.0
+                         if obs_rate > 0 else 0.0),
+        "summary": summary,
+    }
+    if name in capture.traceable_artifacts():
+        cap = capture.trace_artifact(name)
+        block["breakdowns"] = cap.breakdowns()
+    return block
 
 
 # ---------------------------------------------------------------------------
@@ -276,4 +323,21 @@ def render_report(report: Dict[str, Any]) -> str:
     if report.get("profile_out"):
         lines.append(f"  pstats written to {report['profile_out']} "
                      f"(inspect: python -m pstats {report['profile_out']})")
+    obs = report.get("obs")
+    if obs:
+        lines.append(
+            f"  with observability: {obs['events_per_s']/1e3:.1f}k events/s "
+            f"({obs['ns_per_event']:.0f} ns/event) — "
+            f"{obs['overhead_pct']:+.1f}% overhead")
+        summary = obs.get("summary", {})
+        lines.append(
+            f"    collected {summary.get('metrics', 0)} metrics; "
+            f"dropped events={summary.get('events_dropped', 0)} "
+            f"spans={summary.get('spans_dropped', 0)}")
+        if obs.get("breakdowns"):
+            from repro.obs.export import render_phase_table
+
+            lines.append("  phase breakdown (traced scenario):")
+            lines.extend("    " + ln for ln in
+                         render_phase_table(obs["breakdowns"]).splitlines())
     return "\n".join(lines)

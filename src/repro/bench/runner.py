@@ -38,6 +38,12 @@ def point_kernel(name: str) -> Callable[[Callable], Callable]:
     return decorate
 
 
+def _global_obs():
+    from repro.obs.runtime import get_global
+
+    return get_global()
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     """One independent unit of benchmark work (one simulated cluster)."""
@@ -68,24 +74,44 @@ class PointResult:
     events: int     # discrete events processed while computing the point
     cached: bool
     key: Optional[str] = None
+    #: trace events this point's tracers evicted (ring-buffer truncation).
+    #: Measured per run — class-wide ``Tracer.total_dropped`` undercounts in
+    #: pooled sweeps because each worker process has its own copy.
+    dropped: int = 0
 
 
 def execute_point(point: SweepPoint) -> Dict[str, Any]:
     """Run one point and measure it.  Top-level so it pickles to workers."""
     import repro.bench.harness  # noqa: F401 — populates KERNELS on import
+    from repro.obs import runtime as obs_runtime
     from repro.sim.kernel import Environment
+    from repro.trace import Tracer
 
     fn = KERNELS[point.kernel]
     events0 = Environment.total_events_processed
     sim0 = Environment.total_sim_time
+    dropped0 = Tracer.total_dropped
+    obs_snapshot = None
     start = time.perf_counter()
-    value = fn(**point.kwargs())
-    return {
+    if obs_runtime.is_enabled():
+        # Per-point bundle: the snapshot shipped back covers exactly this
+        # point, so the parent can merge worker metrics without double
+        # counting (each point builds its own hermetic clusters).
+        with obs_runtime.scoped() as point_obs:
+            value = fn(**point.kwargs())
+        obs_snapshot = point_obs.registry.snapshot()
+    else:
+        value = fn(**point.kwargs())
+    out = {
         "value": value,
         "wall_s": time.perf_counter() - start,
         "sim_s": Environment.total_sim_time - sim0,
         "events": Environment.total_events_processed - events0,
+        "dropped": Tracer.total_dropped - dropped0,
     }
+    if obs_snapshot is not None:
+        out["obs"] = obs_snapshot
+    return out
 
 
 class SweepRunner:
@@ -116,6 +142,7 @@ class SweepRunner:
                     wall_s=record.get("wall_s", 0.0),
                     sim_s=record.get("sim_s", 0.0),
                     events=record.get("events", 0),
+                    dropped=record.get("dropped", 0),
                     cached=True, key=key,
                 )
             else:
@@ -134,6 +161,14 @@ class SweepRunner:
                         execute_point, [point for _, point, _ in pending],
                         chunksize=chunk))
             for (i, point, key), out in zip(pending, outputs):
+                # Metric snapshots fold into the parent's live registry and
+                # are never cached: the cache key ignores observability
+                # state, so a disabled run must be able to reuse the entry.
+                obs_snapshot = out.pop("obs", None)
+                if obs_snapshot is not None:
+                    parent_obs = _global_obs()
+                    if parent_obs is not None:
+                        parent_obs.registry.merge(obs_snapshot)
                 results[i] = PointResult(point=point, cached=False, key=key,
                                          **out)
                 if self.cache is not None:
@@ -152,7 +187,7 @@ class SweepRunner:
         for rec in self.records:
             art = artifacts.setdefault(rec.point.artifact, {
                 "points": [], "wall_s": 0.0, "sim_s": 0.0,
-                "events": 0, "cached_points": 0,
+                "events": 0, "dropped": 0, "cached_points": 0,
             })
             art["points"].append({
                 "kernel": rec.point.kernel,
@@ -161,11 +196,13 @@ class SweepRunner:
                 "wall_s": rec.wall_s,
                 "sim_s": rec.sim_s,
                 "events": rec.events,
+                "dropped": rec.dropped,
                 "cached": rec.cached,
             })
             art["wall_s"] += rec.wall_s
             art["sim_s"] += rec.sim_s
             art["events"] += rec.events
+            art["dropped"] += rec.dropped
             art["cached_points"] += int(rec.cached)
         totals = {
             "points": len(self.records),
@@ -174,6 +211,7 @@ class SweepRunner:
             "wall_s": sum(a["wall_s"] for a in artifacts.values()),
             "sim_s": sum(a["sim_s"] for a in artifacts.values()),
             "events": sum(a["events"] for a in artifacts.values()),
+            "dropped": sum(a["dropped"] for a in artifacts.values()),
         }
         return {
             "schema": 1,

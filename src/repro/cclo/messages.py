@@ -41,6 +41,8 @@ class Signature:
     tag: int = 0
     seqno: int = 0
     payload_meta: Any = None  # e.g. a BufferDescriptor for RNDZ_INIT
+    #: observability correlation id of the issuing collective (-1 = untraced)
+    op_id: int = -1
 
     def match_key(self) -> tuple:
         """Key the receive side matches on: (comm, source, tag)."""
@@ -64,6 +66,9 @@ class BufferDescriptor:
     node_addr: int
     target_id: int
     nbytes: int
+    #: observability correlation id of the receiving collective; rides the
+    #: descriptor so the WRITE's wire time attributes to the recv it feeds.
+    op_id: int = -1
 
     def __repr__(self) -> str:
         return f"<BufDesc node={self.node_addr} id={self.target_id} {self.nbytes}B>"

@@ -46,6 +46,9 @@ class CollectiveArgs:
     algorithm: Optional[str] = None  # force a specific algorithm
     protocol: Optional[str] = None   # force "eager" or "rndz"
     extra: dict = field(default_factory=dict)
+    #: observability correlation id; assigned by the driver (or the uC for
+    #: engine-direct calls) when a SpanTracer is attached, -1 otherwise.
+    op_id: int = -1
 
 
 FirmwareFn = Callable[["FirmwareContext", CollectiveArgs], Generator]
@@ -120,7 +123,18 @@ class FirmwareContext:
         Returns a plain delay for the firmware to ``yield`` — the kernel's
         allocation-free sleep path.
         """
-        return self.uc.charge(instructions)
+        delay = self.uc.charge(instructions)
+        span_complete = self.engine._span_complete
+        if span_complete is not None and delay > 0:
+            now = self.env.now
+            span_complete(f"{self.engine.name}.uc", "step", now, now + delay,
+                          phase="uc", op_id=self.args.op_id)
+        return delay
+
+    def _issue(self, mc: Microcode) -> Event:
+        """Issue DMP microcode stamped with this command's op id."""
+        mc.op_id = self.args.op_id
+        return self.engine.dmp.issue(mc)
 
     # -- protocol selection --------------------------------------------------------
 
@@ -188,7 +202,7 @@ class FirmwareContext:
             op0=Slot.memory(src_view),
             res=Slot.memory(dst_view),
         )
-        return self.engine.dmp.issue(mc)
+        return self._issue(mc)
 
     def reduce_local(self, func: str, a_view: Any, b_view: Any,
                      dst_view: Any, nbytes: int) -> Event:
@@ -200,20 +214,20 @@ class FirmwareContext:
             res=Slot.memory(dst_view),
             func=func,
         )
-        return self.engine.dmp.issue(mc)
+        return self._issue(mc)
 
     def stream_to_memory(self, dst_view: Any, nbytes: int) -> Event:
         """Drain the kernel stream into memory (staging for MPI-like ops)."""
         mc = Microcode(
             nbytes=nbytes, op0=Slot.stream(), res=Slot.memory(dst_view)
         )
-        return self.engine.dmp.issue(mc)
+        return self._issue(mc)
 
     def memory_to_stream(self, src_view: Any, nbytes: int) -> Event:
         mc = Microcode(
             nbytes=nbytes, op0=Slot.memory(src_view), res=Slot.stream()
         )
-        return self.engine.dmp.issue(mc)
+        return self._issue(mc)
 
     def wait_all(self, events) -> Event:
         return all_of(self.env, list(events))
@@ -249,7 +263,7 @@ class FirmwareContext:
             signature = Signature(
                 comm_id=self.args.comm_id, src_rank=self.rank,
                 dst_rank=dst_rank, msg_type=MsgType.RNDZ_MSG,
-                nbytes=nbytes, tag=tag,
+                nbytes=nbytes, tag=tag, op_id=self.args.op_id,
             )
             mc = Microcode(
                 nbytes=nbytes,
@@ -261,7 +275,7 @@ class FirmwareContext:
             signature = Signature(
                 comm_id=self.args.comm_id, src_rank=self.rank,
                 dst_rank=dst_rank, msg_type=MsgType.EAGER,
-                nbytes=wire_bytes, tag=tag,
+                nbytes=wire_bytes, tag=tag, op_id=self.args.op_id,
             )
             mc = Microcode(
                 nbytes=nbytes,
@@ -269,7 +283,7 @@ class FirmwareContext:
                 res=Slot.tx_eager(signature, dest_addr),
                 func="to_fp16" if codec == "fp16" else None,
             )
-        yield self.engine.dmp.issue(mc)
+        yield self._issue(mc)
 
     def _recv_proc(self, src_rank: int, dest: Any, nbytes: int, tag: int,
                    protocol: str, codec: Optional[str] = None):
@@ -285,18 +299,19 @@ class FirmwareContext:
                 res=self._dest_slot(dest, nbytes),
                 func="from_fp16" if codec == "fp16" else None,
             )
-            yield self.engine.dmp.issue(mc)
+            yield self._issue(mc)
 
     def _recv_rndz(self, src_rank: int, dest: Any, nbytes: int, tag: int):
         """Rendezvous receive: resolve the buffer, await WRITE + DONE."""
         target_id = self.engine.register_rndz_target(dest, nbytes)
         descriptor = BufferDescriptor(
-            node_addr=self.engine.address, target_id=target_id, nbytes=nbytes
+            node_addr=self.engine.address, target_id=target_id,
+            nbytes=nbytes, op_id=self.args.op_id,
         )
         init = Signature(
             comm_id=self.args.comm_id, src_rank=self.rank, dst_rank=src_rank,
             msg_type=MsgType.RNDZ_INIT, nbytes=0, tag=tag,
-            payload_meta=descriptor,
+            payload_meta=descriptor, op_id=self.args.op_id,
         )
         # uC issues the Tx control with the result address (arrow 2).
         yield self.engine.tx.send_control(
@@ -331,7 +346,7 @@ class FirmwareContext:
                     res=Slot.memory(acc),
                     func=func,
                 )
-                yield self.engine.dmp.issue(mc)
+                yield self._issue(mc)
             finally:
                 self.engine.scratch_free(scratch)
         else:
@@ -342,7 +357,7 @@ class FirmwareContext:
                 res=Slot.memory(acc),
                 func=func,
             )
-            yield self.engine.dmp.issue(mc)
+            yield self._issue(mc)
 
 
 class MicroController:
@@ -383,12 +398,29 @@ class MicroController:
         dispatch_instrs = max(
             1, self.config.uc_dispatch_cycles // self.config.uc_instr_cycles
         )
+        engine = self.engine
         while True:
             args, completion = yield self.commands.get()
+            t0 = self.env.now
             yield self.charge(dispatch_instrs)
             self.engine.trace("uc", "dispatch", opcode=args.opcode,
                               nbytes=args.nbytes, tag=args.tag)
+            self.commands_executed += 1
+            # Engine-direct calls bypass the driver; open the op's root
+            # collective span here so phase attribution still has a frame.
+            root_sid = -1
+            if engine._span_tracer is not None:
+                if args.op_id < 0:
+                    args.op_id = engine.next_op_id()
+                    root_sid = engine._span_begin(
+                        t0, f"{engine.name}.uc",
+                        f"collective:{args.opcode}", phase="collective",
+                        op_id=args.op_id, nbytes=args.nbytes)
+                engine.span_complete("uc", "dispatch", t0, self.env.now,
+                                     phase="uc", op_id=args.op_id,
+                                     opcode=args.opcode)
             if args.opcode == "nop":
+                engine.span_end(root_sid)
                 completion.succeed(None)
                 continue
             fn = self._resolve_firmware(args)
@@ -396,7 +428,7 @@ class MicroController:
             fw = self.env.process(
                 fn(ctx, args), name=f"{self.name}.{args.opcode}"
             )
-            fw.add_callback(self._complete_cb(completion))
+            fw.add_callback(self._complete_cb(completion, root_sid, engine))
 
     def _resolve_firmware(self, args: CollectiveArgs) -> FirmwareFn:
         algorithm = args.algorithm
@@ -409,8 +441,10 @@ class MicroController:
         return self.registry.lookup(args.opcode, algorithm)
 
     @staticmethod
-    def _complete_cb(completion: Event):
+    def _complete_cb(completion: Event, root_sid: int = -1, engine=None):
         def cb(fw_event: Event):
+            if root_sid >= 0:
+                engine.span_end(root_sid)
             if fw_event.ok:
                 completion.succeed(fw_event.value)
             else:
@@ -418,3 +452,9 @@ class MicroController:
                 completion.fail(fw_event.value)
 
         return cb
+
+    def register_metrics(self, registry, **labels) -> None:
+        """Callback gauges over the uC's live counters (zero hot-path cost)."""
+        registry.gauge("uc_commands_executed",
+                       fn=lambda: float(self.commands_executed), **labels)
+        self._uc_time.register_metrics(registry, name="uc_pipe", **labels)

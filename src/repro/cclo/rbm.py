@@ -111,6 +111,19 @@ class RxBufManager:
         self._space.give(max(1, record.nbytes))
         self._slots.give(1)
 
+    def register_metrics(self, registry, **labels) -> None:
+        """Expose pool occupancy and throughput as callback gauges."""
+        registry.gauge("rbm_messages_buffered",
+                       fn=lambda: float(self.messages_buffered), **labels)
+        registry.gauge("rbm_bytes_buffered",
+                       fn=lambda: float(self.bytes_buffered), **labels)
+        registry.gauge("rbm_high_watermark",
+                       fn=lambda: float(self.high_watermark), **labels)
+        registry.gauge("rbm_free_bytes",
+                       fn=lambda: float(self.free_bytes), **labels)
+        self._space.register_metrics(registry, name="rbm_space", **labels)
+        self._slots.register_metrics(registry, name="rbm_slots", **labels)
+
     def __repr__(self) -> str:
         return (
             f"<RxBufManager {self.name!r} free={self.free_bytes}"

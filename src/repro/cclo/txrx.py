@@ -113,9 +113,14 @@ class TxSystem:
             nbytes=0,
             tag=signature.tag,
             seqno=signature.seqno,
+            op_id=signature.op_id,
         )
         yield self.poe.send_message(dest_addr, SIGNATURE_BYTES, meta=done_sig)
         return signature
+
+    def register_metrics(self, registry, **labels) -> None:
+        registry.gauge("tx_messages_sent",
+                       fn=lambda: float(self.messages_sent), **labels)
 
 
 class RxSystem:
@@ -182,3 +187,7 @@ class RxSystem:
             self.rndz_done.post(signature.match_key(), signature)
         else:
             raise CcloError(f"{self.name}: unhandled message type {kind}")
+
+    def register_metrics(self, registry, **labels) -> None:
+        registry.gauge("rx_messages_received",
+                       fn=lambda: float(self.messages_received), **labels)

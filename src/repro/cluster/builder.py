@@ -16,6 +16,7 @@ from repro.cclo.engine import CcloEngine
 from repro.cclo.microcontroller import CollectiveArgs
 from repro.cluster.node import FpgaNode
 from repro.network.topology import StarTopology
+from repro.obs.runtime import auto_attach
 from repro.platform.coyote import CoyotePlatform
 from repro.platform.simplatform import SimPlatform
 from repro.platform.vitis import VitisPlatform
@@ -152,7 +153,10 @@ def build_fpga_cluster(
         )
 
     _establish_peering(env, nodes, protocol)
-    return FpgaCluster(env, nodes, topology, protocol)
+    cluster = FpgaCluster(env, nodes, topology, protocol)
+    # Global observability (repro.obs.runtime.enable): no-op while disabled.
+    auto_attach(cluster)
+    return cluster
 
 
 def _establish_peering(env: Environment, nodes: List[FpgaNode],

@@ -269,17 +269,28 @@ class Accl:
         return request
 
     def _invoke(self, args: CollectiveArgs, stage: list, unstage: list):
-        # Host -> CCLO invocation cost (MMIO doorbell + ack).
-        yield self.platform.invoke_from_host()
-        # Partitioned memory: migrate host inputs to device memory first.
-        for view in stage:
-            if view is not None and self.platform.requires_staging(view.buffer):
-                yield self.platform.stage_in(view.buffer)
-        yield self.engine.call(args)
-        # ...and migrate results back afterwards.
-        for view in unstage:
-            if view is not None and self.platform.requires_staging(view.buffer):
-                yield self.platform.stage_out(view.buffer)
+        # Observability: allocate the collective's op id and open its root
+        # span; every uC/DMP/POE/wire span downstream links back to it.
+        root_sid = -1
+        if self.engine._span_tracer is not None:
+            args.op_id = self.engine.next_op_id()
+            root_sid = self.engine.span_begin(
+                "driver", f"collective:{args.opcode}", phase="collective",
+                op_id=args.op_id, nbytes=args.nbytes, rank=self.rank)
+        try:
+            # Host -> CCLO invocation cost (MMIO doorbell + ack).
+            yield self.platform.invoke_from_host()
+            # Partitioned memory: migrate host inputs to device memory first.
+            for view in stage:
+                if view is not None and self.platform.requires_staging(view.buffer):
+                    yield self.platform.stage_in(view.buffer)
+            yield self.engine.call(args)
+            # ...and migrate results back afterwards.
+            for view in unstage:
+                if view is not None and self.platform.requires_staging(view.buffer):
+                    yield self.platform.stage_out(view.buffer)
+        finally:
+            self.engine.span_end(root_sid)
         return args.opcode
 
 

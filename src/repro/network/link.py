@@ -113,5 +113,13 @@ class Link:
         else:
             self._pump_scheduled = False
 
+    def register_metrics(self, registry, **labels) -> None:
+        """Expose carried traffic and occupancy as callback gauges."""
+        registry.gauge("link_segments_carried",
+                       fn=lambda: float(self.segments_carried),
+                       link=self.name, **labels)
+        self._pipe.register_metrics(registry, name="link",
+                                    link=self.name, **labels)
+
     def __repr__(self) -> str:
         return f"<Link {self.name!r} {units.to_gbps(self.rate):.0f} Gb/s>"

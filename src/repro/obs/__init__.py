@@ -1,0 +1,53 @@
+"""Unified observability: metrics registry, span tracing, exporters.
+
+The simulation platform exists to shorten "hardware debugging cycles"
+(§4.3); this package is what makes that claim operational.  Three layers:
+
+- :mod:`repro.obs.metrics` — a registry of :class:`Counter` / :class:`Gauge`
+  / :class:`Histogram` instruments that components register into, with
+  sim-time-windowed rates and cross-process merging for pooled sweeps;
+- :mod:`repro.obs.spans` — :class:`SpanTracer`, structured begin/end spans
+  with ids, parent links and per-collective ``op_id`` propagation layered on
+  the flat :class:`repro.trace.Tracer` ring buffer;
+- :mod:`repro.obs.export` — Chrome trace-event JSON (opens in Perfetto),
+  CSV metrics dumps and the :func:`phase_breakdown` report API.
+
+Everything is opt-in: with no registry and no tracer attached (the
+default), instrumented components pay at most a ``None`` check.  Enable
+globally with :func:`repro.obs.runtime.enable` or per-cluster with
+:func:`repro.obs.runtime.attach`.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.obs.spans import Span, SpanTracer
+from repro.obs.export import (
+    metrics_to_csv,
+    phase_breakdown,
+    render_phase_table,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.runtime import (
+    Observability,
+    attach,
+    disable,
+    enable,
+    get_global,
+    is_enabled,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
+    "NULL_REGISTRY", "Span", "SpanTracer", "to_chrome_trace",
+    "validate_chrome_trace", "write_chrome_trace", "metrics_to_csv",
+    "phase_breakdown", "render_phase_table", "Observability", "attach",
+    "enable", "disable", "get_global", "is_enabled",
+]

@@ -1,0 +1,116 @@
+"""Traced replays of small evaluation scenarios (the ``bench trace`` CLI).
+
+The sweep artifacts (fig07 …) run thousands of collectives — too much to
+look at in a trace viewer.  ``trace_artifact(name)`` instead replays one
+*representative* scenario of an artifact with a span tracer attached and
+returns the capture: open the exported Chrome JSON in Perfetto to see the
+collective's uC / DMP / POE / wire phases laid out per node, or read the
+:func:`~repro.obs.export.phase_breakdown` table the CLI prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro import units
+from repro.obs.export import phase_breakdown
+from repro.obs.runtime import Observability, attach
+from repro.sim import all_of
+
+
+@dataclass
+class TraceCapture:
+    """One traced scenario: the bundle plus what ran."""
+
+    artifact: str
+    description: str
+    obs: Observability
+    op_ids: List[int] = field(default_factory=list)
+
+    @property
+    def tracer(self):
+        return self.obs.tracer
+
+    def breakdowns(self) -> List[Dict[str, Any]]:
+        return [phase_breakdown(self.obs.tracer, op) for op in self.op_ids]
+
+
+def _traced_cluster(n_nodes: int, protocol: str = "rdma",
+                    platform: str = "coyote"):
+    from repro.cluster.builder import build_fpga_cluster
+    from repro.driver.api import attach_drivers
+
+    cluster = build_fpga_cluster(n_nodes, protocol=protocol,
+                                 platform=platform)
+    obs = attach(cluster)
+    return cluster, obs, attach_drivers(cluster)
+
+
+def _drain(cluster, requests) -> None:
+    cluster.env.run(until=all_of(cluster.env,
+                                 [r.event for r in requests]))
+
+
+def _trace_fig08(**_: Any) -> TraceCapture:
+    """Invocation latency: host nop calls — pure uC dispatch, no wire."""
+    cluster, obs, drivers = _traced_cluster(2)
+    for driver in drivers:
+        _drain(cluster, [driver.nop()])
+    return TraceCapture(
+        "fig08", "host nop invocations on 2 nodes (uC dispatch only)",
+        obs, obs.tracer.op_ids())
+
+
+def _trace_fig07(**_: Any) -> TraceCapture:
+    """Send/recv throughput: a small (eager) and a large (rendezvous)
+    transfer, back to back — the protocol switch is visible in the trace."""
+    cluster, obs, drivers = _traced_cluster(2)
+    for tag, nbytes in ((7, 16 * units.KIB), (8, units.MIB)):
+        data = np.ones(nbytes // 4, dtype=np.float32)
+        _drain(cluster, [
+            drivers[0].send(drivers[0].wrap(data), nbytes, dst=1, tag=tag),
+            drivers[1].recv(drivers[1].alloc(nbytes), nbytes, src=0,
+                            tag=tag),
+        ])
+    return TraceCapture(
+        "fig07", "eager (16 KiB) + rendezvous (1 MiB) send/recv on 2 nodes",
+        obs, obs.tracer.op_ids())
+
+
+def _trace_allreduce(nbytes: int = 64 * units.KIB, n_nodes: int = 4,
+                     **_: Any) -> TraceCapture:
+    """One cluster-wide allreduce — the richest per-phase picture."""
+    cluster, obs, drivers = _traced_cluster(n_nodes)
+    data = np.ones(nbytes // 4, dtype=np.float32)
+    _drain(cluster, [
+        d.allreduce(d.wrap(data), d.alloc(nbytes), nbytes) for d in drivers
+    ])
+    return TraceCapture(
+        "allreduce", f"{n_nodes}-node allreduce of {nbytes} B",
+        obs, obs.tracer.op_ids())
+
+
+_SCENARIOS = {
+    "fig08": _trace_fig08,
+    "fig07": _trace_fig07,
+    "allreduce": _trace_allreduce,
+    "fig10": _trace_allreduce,
+}
+
+
+def traceable_artifacts() -> List[str]:
+    return sorted(_SCENARIOS)
+
+
+def trace_artifact(name: str, **kwargs: Any) -> TraceCapture:
+    """Replay artifact *name*'s representative scenario under a tracer."""
+    try:
+        fn = _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"no traced scenario for {name!r}; available: "
+            f"{', '.join(traceable_artifacts())}") from None
+    return fn(**kwargs)

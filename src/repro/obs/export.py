@@ -1,0 +1,234 @@
+"""Exporters and reports over :class:`~repro.obs.spans.SpanTracer` data.
+
+- :func:`to_chrome_trace` — Chrome trace-event JSON.  Load the file at
+  https://ui.perfetto.dev (or ``chrome://tracing``) to see one process
+  track per node and one thread track per component, with collective root
+  spans nesting their uC / DMP / POE / wire phases.
+- :func:`metrics_to_csv` — flat CSV dump of a metrics registry.
+- :func:`phase_breakdown` — exclusive per-phase time attribution for one
+  collective operation; buckets sum to the collective's wall sim-time by
+  construction.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.spans import Span, SpanTracer
+
+#: When several phases overlap at an instant, the most specific wins.
+#: Wire occupancy beats POE processing beats DMP execution beats uC
+#: sequencing; time under the root span covered by none of them is
+#: attributed to "other" (queueing, driver staging, sync waits).
+PHASE_PRIORITY = ("wire", "poe", "dmp", "uc")
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------------
+
+def to_chrome_trace(tracer: SpanTracer,
+                    spans: Optional[Sequence[Span]] = None) -> Dict[str, Any]:
+    """Build a Chrome trace-event object from completed spans.
+
+    Spans become "X" (complete) events with microsecond timestamps.  The
+    node part of each component ("cclo0.uc" -> "cclo0") maps to a pid and
+    the component part to a tid, labeled through "M" metadata events, so
+    Perfetto renders one track per node×component.
+    """
+    if spans is None:
+        spans = tracer.completed_spans
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+    events: List[Dict[str, Any]] = []
+
+    for span in spans:
+        if not span.closed:
+            continue
+        node, _, comp = span.component.partition(".")
+        if not comp:
+            node, comp = "sim", node
+        pid = pids.setdefault(node, len(pids) + 1)
+        tkey = (node, comp)
+        if tkey not in tids:
+            tids[tkey] = len(tids) + 1
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid,
+                "tid": tids[tkey], "args": {"name": comp},
+            })
+        args: Dict[str, Any] = {"span": span.sid}
+        if span.op_id >= 0:
+            args["op"] = span.op_id
+        if span.parent >= 0:
+            args["parent"] = span.parent
+        args.update(dict(span.detail))
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.phase,
+            "ts": span.t0 * 1e6,
+            "dur": max(span.duration * 1e6, 0.001),
+            "pid": pid,
+            "tid": tids[tkey],
+            "args": args,
+        })
+
+    meta = [
+        {"ph": "M", "name": "process_name", "pid": pid,
+         "args": {"name": node}}
+        for node, pid in pids.items()
+    ]
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "spans": sum(1 for s in spans if s.closed),
+            "unclosed": tracer.unclosed_count,
+            "spans_dropped": tracer.spans_dropped,
+            "events_dropped": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(tracer: SpanTracer, path: str) -> int:
+    """Write :func:`to_chrome_trace` output to *path*; returns span count."""
+    doc = to_chrome_trace(tracer)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return doc["otherData"]["spans"]
+
+
+def validate_chrome_trace(doc: Dict[str, Any]) -> List[str]:
+    """Schema check for Perfetto-loadability; returns a list of problems
+    (empty means valid).
+
+    Checks the envelope, then per event: required keys by phase type
+    ("X" needs ph/ts/dur/pid/tid/name, "M" needs ph/name/pid/args),
+    numeric timestamps and non-negative durations.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event[{i}]: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph == "M":
+            required = ("ph", "name", "pid", "args")
+        elif ph == "X":
+            required = ("ph", "ts", "dur", "pid", "tid", "name")
+        else:
+            problems.append(f"event[{i}]: unsupported ph={ph!r}")
+            continue
+        missing = [k for k in required if k not in ev]
+        if missing:
+            problems.append(f"event[{i}] ({ph}): missing keys {missing}")
+            continue
+        if ph == "X":
+            if not isinstance(ev["ts"], (int, float)):
+                problems.append(f"event[{i}]: ts not numeric")
+            if not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0:
+                problems.append(f"event[{i}]: dur not a non-negative number")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Metrics CSV
+# ---------------------------------------------------------------------------
+
+def metrics_to_csv(registry, path: str) -> int:
+    """Dump a registry's instruments to CSV; returns rows written."""
+    fields = ["metric", "kind", "value", "count", "sum", "mean",
+              "min", "max", "p50", "p99"]
+    rows = registry.rows()
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+# ---------------------------------------------------------------------------
+# Phase attribution
+# ---------------------------------------------------------------------------
+
+def phase_breakdown(tracer: SpanTracer, op_id: int) -> Dict[str, Any]:
+    """Exclusive per-phase time attribution for collective *op_id*.
+
+    Every instant of the root span's ``[t0, t1]`` window is attributed to
+    exactly one bucket — the highest-priority phase active at that instant
+    (:data:`PHASE_PRIORITY`), or ``"other"`` when none is.  The buckets
+    therefore sum to the collective's wall sim-time exactly; overlapping
+    spans (e.g. two links busy at once) never double-count.
+    """
+    root = tracer.root_span(op_id)
+    if root is None:
+        raise KeyError(f"op {op_id}: no root collective span recorded")
+    if not root.closed:
+        raise ValueError(f"op {op_id}: collective span still open")
+    t0, t1 = root.t0, root.t1
+    wall = t1 - t0
+
+    phase_spans: Dict[str, List[tuple]] = {p: [] for p in PHASE_PRIORITY}
+    span_count = 0
+    for span in tracer.spans_for(op_id):
+        if span.sid == root.sid or not span.closed:
+            continue
+        if span.phase not in phase_spans:
+            continue
+        lo, hi = max(span.t0, t0), min(span.t1, t1)
+        if hi > lo or (span.t0 >= t0 and span.t1 <= t1):
+            phase_spans[span.phase].append((lo, hi))
+            span_count += 1
+
+    # Sweep the boundary set; attribute each elementary interval to the
+    # highest-priority phase covering it.
+    bounds = {t0, t1}
+    for intervals in phase_spans.values():
+        for lo, hi in intervals:
+            bounds.add(lo)
+            bounds.add(hi)
+    cuts = sorted(bounds)
+    buckets = {p: 0.0 for p in PHASE_PRIORITY}
+    buckets["other"] = 0.0
+    for lo, hi in zip(cuts, cuts[1:]):
+        mid = (lo + hi) / 2.0
+        width = hi - lo
+        for phase in PHASE_PRIORITY:
+            if any(a <= mid < b for a, b in phase_spans[phase]):
+                buckets[phase] += width
+                break
+        else:
+            buckets["other"] += width
+
+    return {
+        "op_id": op_id,
+        "name": root.name,
+        "t0": t0,
+        "t1": t1,
+        "wall_s": wall,
+        "spans": span_count,
+        "phases": buckets,
+        "fractions": {
+            p: (v / wall if wall > 0 else 0.0) for p, v in buckets.items()
+        },
+    }
+
+
+def render_phase_table(breakdowns: Sequence[Dict[str, Any]]) -> str:
+    """Fixed-width table over one or more :func:`phase_breakdown` results."""
+    phases = list(PHASE_PRIORITY) + ["other"]
+    header = (f"{'op':>4}  {'collective':<24} {'wall_us':>10}  "
+              + "  ".join(f"{p + '%':>6}" for p in phases))
+    lines = [header, "-" * len(header)]
+    for bd in breakdowns:
+        fr = bd["fractions"]
+        lines.append(
+            f"{bd['op_id']:>4}  {bd['name']:<24} {bd['wall_s'] * 1e6:>10.2f}  "
+            + "  ".join(f"{fr.get(p, 0.0) * 100:>6.1f}" for p in phases))
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Wiring: attach an observability bundle to a built cluster.
+
+An :class:`Observability` pairs one :class:`MetricsRegistry` with one
+:class:`SpanTracer`.  :func:`attach` wires a bundle into every engine, POE,
+link and endpoint of an :class:`~repro.cluster.builder.FpgaCluster`; the
+module-level :func:`enable` / :func:`disable` pair makes a bundle *global*
+so that every cluster built afterwards auto-attaches it (the hook in
+``build_fpga_cluster`` calls :func:`auto_attach`, a no-op while disabled).
+
+The global is process-local: a :class:`~repro.bench.runner.SweepRunner`
+worker that forked after :func:`enable` carries the enabled state into its
+own process, collects into its own registry, and ships a picklable
+snapshot back with each point result for the parent to
+:meth:`~repro.obs.metrics.MetricsRegistry.merge`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
+
+
+class Observability:
+    """One metrics registry + one span tracer, attached as a unit."""
+
+    def __init__(self, trace_capacity: int = 100_000):
+        self.registry = MetricsRegistry()
+        self.tracer = SpanTracer(capacity=trace_capacity)
+
+    def attach(self, cluster) -> "Observability":
+        return attach(cluster, self)
+
+    def summary(self) -> dict:
+        """Counts for run reports: spans, events, drops, open spans."""
+        return {
+            "metrics": len(self.registry),
+            "trace_events": len(self.tracer),
+            "spans": len(self.tracer.completed_spans),
+            "unclosed_spans": self.tracer.unclosed_count,
+            "events_dropped": self.tracer.dropped,
+            "spans_dropped": self.tracer.spans_dropped,
+        }
+
+
+def attach(cluster, obs: Optional[Observability] = None) -> Observability:
+    """Wire *obs* (or a fresh bundle) into every layer of *cluster*.
+
+    Engines get the span tracer (which also feeds the flat event trace);
+    engines, POEs, links and endpoints register callback gauges into the
+    registry; the sim kernel's global event counters are exposed too.
+    """
+    if obs is None:
+        obs = Observability()
+    registry = obs.registry
+    for node in cluster.nodes:
+        node.engine.attach_tracer(obs.tracer)
+        node.engine.register_metrics(registry)
+    for ep in cluster.topology.endpoints:
+        registry.gauge("endpoint_segments_sent",
+                       fn=_count_of(ep, "segments_sent"), endpoint=ep.name)
+        registry.gauge("endpoint_segments_received",
+                       fn=_count_of(ep, "segments_received"),
+                       endpoint=ep.name)
+        if ep.uplink is not None:
+            ep.uplink.register_metrics(registry, endpoint=ep.name)
+    from repro.sim.kernel import Environment
+
+    registry.gauge("kernel_events_processed",
+                   fn=lambda: float(Environment.total_events_processed))
+    registry.gauge("kernel_sim_time_s",
+                   fn=lambda: Environment.total_sim_time)
+    return obs
+
+
+def _count_of(obj, attr: str):
+    return lambda: float(getattr(obj, attr))
+
+
+# ---------------------------------------------------------------------------
+# Global (process-local) enablement
+# ---------------------------------------------------------------------------
+
+_GLOBAL: Optional[Observability] = None
+
+
+def enable(trace_capacity: int = 100_000) -> Observability:
+    """Turn on auto-attach for every cluster built after this call."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = Observability(trace_capacity=trace_capacity)
+    return _GLOBAL
+
+
+def disable() -> None:
+    global _GLOBAL
+    _GLOBAL = None
+
+
+def get_global() -> Optional[Observability]:
+    return _GLOBAL
+
+
+def is_enabled() -> bool:
+    return _GLOBAL is not None
+
+
+def auto_attach(cluster) -> None:
+    """Hook called by ``build_fpga_cluster``; free while disabled."""
+    if _GLOBAL is not None:
+        attach(cluster, _GLOBAL)
+
+
+@contextmanager
+def scoped(trace_capacity: int = 100_000) -> Iterator[Observability]:
+    """Run a block against a fresh global bundle, then restore the old one.
+
+    Used by :func:`repro.bench.runner.execute_point` so each sweep point
+    collects into its own registry — the snapshot it ships back to the
+    parent covers exactly that point, whether the point ran inline or in a
+    forked pool worker.
+    """
+    global _GLOBAL
+    prev = _GLOBAL
+    _GLOBAL = Observability(trace_capacity=trace_capacity)
+    try:
+        yield _GLOBAL
+    finally:
+        _GLOBAL = prev

@@ -36,6 +36,9 @@ class MessageHeader:
     kind: str = "send"  # "send" | "write" | "datagram"
     session: int = 0
     meta: Any = None
+    #: sim time the first segment entered the wire (-1 = untraced); lets the
+    #: receiving POE close a wire-phase span without a round trip.
+    tx_t0: float = -1.0
 
     def __repr__(self) -> str:
         return (
@@ -108,7 +111,24 @@ class BasePoe:
         self._rx_state: Dict[tuple, _Reassembly] = {}
         self.messages_sent = 0
         self.messages_received = 0
+        # Span tracing (None = disabled): bound by the owning engine.
+        self._span_tracer = None
+        self._trace_node = self.name
         endpoint.on_receive(self._on_segment)
+
+    def bind_tracer(self, span_tracer, node: str) -> None:
+        """Activate span tracing; *node* names this POE's trace tracks.
+
+        Pass ``None`` to deactivate (a plain event tracer has no spans).
+        """
+        self._span_tracer = span_tracer
+        self._trace_node = node
+
+    def register_metrics(self, registry, **labels) -> None:
+        registry.gauge("poe_messages_sent",
+                       fn=lambda: float(self.messages_sent), **labels)
+        registry.gauge("poe_messages_received",
+                       fn=lambda: float(self.messages_received), **labels)
 
     @property
     def address(self) -> int:
@@ -156,10 +176,14 @@ class BasePoe:
         )
 
     def _tx_process(self, header: MessageHeader, data: Any, pace: Any = None):
+        tracer = self._span_tracer
+        t_start = self.env.now
         # Plain-float yields take the kernel's allocation-free sleep path;
         # this loop runs once per 32 KiB segment and dominates big transfers.
         yield self.poe_latency
         env = self.env
+        if tracer is not None:
+            header.tx_t0 = env.now
         endpoint_send = self.endpoint.send
         address = self.address
         dst_addr = header.dst_addr
@@ -194,6 +218,12 @@ class BasePoe:
                 # the heap, keeps FIFO fairness between concurrent messages.
                 pause = egress_done - env.now
                 yield pause if pause > 0.0 else 0.0
+        if tracer is not None:
+            tracer.span_complete(
+                f"{self._trace_node}.poe", f"tx:{header.kind}",
+                t_start, env.now, phase="poe",
+                op_id=getattr(header.meta, "op_id", -1),
+                nbytes=header.nbytes, dst=header.dst_addr)
         return header
 
     def _tx_flow_control(self, header: MessageHeader, chunk: int):
@@ -222,6 +252,21 @@ class BasePoe:
         if state.bytes_seen >= header.nbytes:
             del self._rx_state[key]
             self.messages_received += 1
+            tracer = self._span_tracer
+            if tracer is not None:
+                now = self.env.now
+                op = getattr(header.meta, "op_id", -1)
+                if header.tx_t0 >= 0:
+                    # First byte on the wire to last byte reassembled: the
+                    # message's wire occupancy, on the receiver's track.
+                    tracer.span_complete(
+                        f"{self._trace_node}.wire", f"wire:{header.kind}",
+                        header.tx_t0, now, phase="wire", op_id=op,
+                        nbytes=header.nbytes, src=header.src_addr)
+                tracer.span_complete(
+                    f"{self._trace_node}.poe", "rx", now,
+                    now + self.poe_latency, phase="poe", op_id=op,
+                    nbytes=header.nbytes)
             self.env.schedule_callback(
                 self.poe_latency, self._deliver_resolved, header, state.data
             )

@@ -3,7 +3,33 @@
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
+
+
+def percentile_of(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile of *values*, ``pct`` in [0, 100].
+
+    Shared by :class:`Monitor` and :class:`repro.obs.metrics.Histogram` so
+    both report identical quantiles for identical samples.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = pct / 100.0 * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi or ordered[lo] == ordered[hi]:
+        return ordered[lo]
+    frac = rank - lo
+    # Clamp to the bracketing samples: the products can round outside
+    # [lo, hi] for subnormal values (e.g. 5e-324 * 0.5 underflows to 0),
+    # which would break percentile monotonicity.
+    val = ordered[lo] * (1 - frac) + ordered[hi] * frac
+    return min(max(val, ordered[lo]), ordered[hi])
 
 
 class Monitor:
@@ -57,18 +83,23 @@ class Monitor:
         """Linear-interpolated percentile, ``pct`` in [0, 100]."""
         if not self._samples:
             raise ValueError(f"monitor {self.name!r} has no samples")
-        if not 0.0 <= pct <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {pct}")
-        ordered = sorted(self.values)
-        if len(ordered) == 1:
-            return ordered[0]
-        rank = pct / 100.0 * (len(ordered) - 1)
-        lo = int(math.floor(rank))
-        hi = int(math.ceil(rank))
-        if lo == hi:
-            return ordered[lo]
-        frac = rank - lo
-        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+        return percentile_of(self.values, pct)
+
+    def register_metrics(self, registry, name: str = None, **labels) -> None:
+        """Expose this monitor's summary through a metrics registry.
+
+        Registers callback gauges, so the monitor itself stays the single
+        source of truth and pays nothing while no registry is attached.
+        """
+        base = name or self.name
+        registry.gauge(f"{base}_count", fn=lambda: float(len(self)), **labels)
+        registry.gauge(
+            f"{base}_mean",
+            fn=lambda: self.mean() if self._samples else 0.0, **labels)
+        registry.gauge(
+            f"{base}_p99",
+            fn=lambda: (self.percentile(99) if self._samples else 0.0),
+            **labels)
 
     def clear(self) -> None:
         self._samples.clear()

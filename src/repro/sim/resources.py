@@ -162,6 +162,19 @@ class BandwidthResource:
         intervals.append([start, finish])
         return finish
 
+    def register_metrics(self, registry, name: Optional[str] = None,
+                         **labels) -> None:
+        """Expose pipe throughput and utilization as callback gauges.
+
+        Reading a gauge samples the live pipe; :meth:`reserve` — the
+        hottest function in a sweep — is not touched.
+        """
+        base = name or self.name
+        registry.gauge(f"{base}_bytes_moved",
+                       fn=lambda: float(self._bytes_moved), **labels)
+        registry.gauge(f"{base}_utilization",
+                       fn=lambda: self.utilization(), **labels)
+
     def __repr__(self) -> str:
         gbps = self.rate * 8 / 1e9
         return f"<BandwidthResource {self.name!r} {gbps:.1f} Gb/s>"
@@ -208,3 +221,12 @@ class TokenBucket:
             ev, amt = self._waiters.popleft()
             self._available -= amt
             ev.succeed(amt)
+
+    def register_metrics(self, registry, name: Optional[str] = None,
+                         **labels) -> None:
+        """Expose credit occupancy as callback gauges."""
+        base = name or self.name
+        registry.gauge(f"{base}_available",
+                       fn=lambda: float(self._available), **labels)
+        registry.gauge(f"{base}_waiters",
+                       fn=lambda: float(len(self._waiters)), **labels)

@@ -19,6 +19,7 @@ Usage::
 from __future__ import annotations
 
 import csv
+import json
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Iterator, List, Optional
@@ -98,36 +99,74 @@ class Tracer:
             out["tracer.dropped"] = self.dropped
         return out
 
-    def spans(self, component: str, start_event: str,
-              end_event: str) -> List[float]:
+    def spans(self, component: str, start_event: str, end_event: str,
+              with_counts: bool = False):
         """Durations between matched start/end event pairs.
 
         Pairing is LIFO (an end event closes the *most recent* open
         start), so nested spans report inner-before-outer with correct
         durations — FIFO pairing would invert them.
+
+        With ``with_counts=True`` the return value is
+        ``(durations, counts)`` where ``counts`` reports the unmatched
+        residue: ``"unclosed"`` start events that never saw an end, and
+        ``"unmatched_ends"`` end events whose start was evicted from the
+        ring buffer — either nonzero means the trace is truncated and the
+        duration list incomplete.
         """
         durations = []
         open_starts: List[float] = []
+        unmatched_ends = 0
         for ev in self._events:
             if ev.component != component:
                 continue
             if ev.event == start_event:
                 open_starts.append(ev.time)
-            elif ev.event == end_event and open_starts:
-                durations.append(ev.time - open_starts.pop())
+            elif ev.event == end_event:
+                if open_starts:
+                    durations.append(ev.time - open_starts.pop())
+                else:
+                    unmatched_ends += 1
+        if with_counts:
+            return durations, {
+                "unclosed": len(open_starts),
+                "unmatched_ends": unmatched_ends,
+            }
         return durations
 
     def to_csv(self, path: str) -> int:
-        """Dump the trace; returns the number of rows written."""
+        """Dump the trace; returns the number of rows written.
+
+        The detail column is JSON-encoded so values containing ``;`` or
+        ``=`` survive a round trip through :meth:`read_csv` (non-JSON
+        values are stringified).
+        """
         with open(path, "w", newline="") as fh:
             writer = csv.writer(fh)
             writer.writerow(["time_s", "component", "event", "detail"])
             for ev in self._events:
                 writer.writerow([
                     f"{ev.time:.9f}", ev.component, ev.event,
-                    ";".join(f"{k}={v}" for k, v in ev.detail),
+                    json.dumps(ev.detail_dict(), sort_keys=True,
+                               default=str),
                 ])
         return len(self._events)
+
+    @staticmethod
+    def read_csv(path: str) -> List[TraceEvent]:
+        """Parse a :meth:`to_csv` dump back into trace events."""
+        events: List[TraceEvent] = []
+        with open(path, newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header != ["time_s", "component", "event", "detail"]:
+                raise ValueError(f"{path}: not a Tracer CSV dump")
+            for time_s, component, event, detail in reader:
+                events.append(TraceEvent(
+                    time=float(time_s), component=component, event=event,
+                    detail=tuple(sorted(json.loads(detail).items())),
+                ))
+        return events
 
     def clear(self) -> None:
         self._events.clear()

@@ -1,0 +1,371 @@
+"""Tests of the observability layer (metrics, spans, exporters, wiring)."""
+
+import json
+
+import pytest
+
+from repro import units
+from repro.obs import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    SpanTracer,
+    metrics_to_csv,
+    phase_breakdown,
+    render_phase_table,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs import runtime as obs_runtime
+from repro.obs.capture import trace_artifact, traceable_artifacts
+from repro.sim.monitor import percentile_of
+from tests.helpers import make_cluster
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        c = Counter("msgs")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_counter_windowed_rate(self):
+        c = Counter("msgs")
+        for t in (1.0, 2.0, 3.0, 4.0):
+            c.inc(2, t=t)
+        # 4 marks of +2 over [0, 4]: 8 increments / 4 sim-seconds
+        assert c.rate(0.0, 4.0) == pytest.approx(2.0)
+        # window [2, 4] sees the marks at t=3 and t=4: +4 over 2 s
+        assert c.rate(2.0, 4.0) == pytest.approx(2.0)
+        # half-window ending before any mark
+        assert c.rate(5.0, 6.0) == 0.0
+        assert Counter("empty").rate(0.0, 1.0) == 0.0
+
+    def test_gauge_set_and_callback(self):
+        g = Gauge("depth")
+        g.set(7)
+        assert g.value == 7.0
+        live = {"n": 3}
+        gf = Gauge("live", fn=lambda: live["n"])
+        assert gf.value == 3.0
+        live["n"] = 9
+        assert gf.value == 9.0
+        with pytest.raises(ValueError):
+            gf.set(1)
+
+    def test_histogram_percentiles_match_monitor_math(self):
+        h = Histogram("lat")
+        values = [float(v) for v in range(1, 101)]
+        for v in values:
+            h.observe(v)
+        for pct in (50, 90, 99):
+            assert h.percentile(pct) == pytest.approx(
+                percentile_of(values, pct))
+        s = h.summary()
+        assert s["count"] == 100 and s["min"] == 1.0 and s["max"] == 100.0
+        assert s["mean"] == pytest.approx(50.5)
+
+    def test_histogram_windowed_rate(self):
+        h = Histogram("lat")
+        for t in (0.5, 1.5, 2.5, 3.5):
+            h.observe(1.0, t=t)
+        assert h.rate(0.0, 4.0) == pytest.approx(1.0)
+        assert h.rate(2.0, 4.0) == pytest.approx(1.0)
+
+    def test_registry_get_or_create_and_kind_clash(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", node="x") is reg.counter("a", node="x")
+        assert reg.counter("a", node="x") is not reg.counter("a", node="y")
+        with pytest.raises(TypeError):
+            reg.gauge("a", node="x")
+
+    def test_merge_worker_snapshots(self):
+        """Counters add, gauges max, histograms extend — the pooled-sweep
+        fold in SweepRunner."""
+        parent = MetricsRegistry()
+        snapshots = []
+        for peak, obs in ((5.0, [1.0, 2.0]), (3.0, [10.0])):
+            worker = MetricsRegistry()
+            worker.counter("tx", node="n0").inc(10)
+            worker.gauge("hw", node="n0").set(peak)
+            for v in obs:
+                worker.histogram("lat", node="n0").observe(v)
+            snapshots.append(worker.snapshot())
+        for snap in snapshots:
+            assert json.loads(json.dumps(snap)) == snap  # picklable/plain
+            parent.merge(snap)
+        assert parent.counter("tx{node=n0}").value == 20.0
+        assert parent.gauge("hw{node=n0}").value == 5.0
+        merged = parent.histogram("lat{node=n0}")
+        assert merged.count == 3 and merged.total == 13.0
+
+    def test_snapshot_resolves_callback_gauges(self):
+        reg = MetricsRegistry()
+        reg.gauge("live", fn=lambda: 42.0)
+        assert reg.snapshot()["gauges"]["live"] == 42.0
+
+    def test_null_registry_is_total_no_op(self):
+        assert len(NULL_REGISTRY) == 0
+        c = NULL_REGISTRY.counter("x", node="y")
+        c.inc(5)
+        assert c.value == 0.0
+        g = NULL_REGISTRY.gauge("g")
+        g.set(3)
+        h = NULL_REGISTRY.histogram("h")
+        h.observe(1.0)
+        assert h.summary() == {"count": 0, "sum": 0.0}
+        assert NULL_REGISTRY.rows() == []
+        NULL_REGISTRY.merge({"counters": {"x": 1}})
+        assert NULL_REGISTRY.snapshot()["counters"] == {}
+
+
+class TestSpanTracer:
+    def test_begin_end_and_auto_parenting(self):
+        tr = SpanTracer()
+        op = tr.next_op_id()
+        root = tr.span_begin(0.0, "cclo0.uc", "collective:send",
+                             phase="collective", op_id=op)
+        child = tr.span_begin(1.0, "cclo0.dmp", "instr", phase="dmp",
+                              op_id=op)
+        tr.span_end(2.0, child)
+        tr.span_end(3.0, root)
+        spans = {s.sid: s for s in tr.completed_spans}
+        assert spans[child].parent == root
+        assert spans[root].parent == -1
+        assert spans[child].duration == pytest.approx(1.0)
+        assert tr.root_span(op).sid == root
+        assert tr.op_ids() == [op]
+
+    def test_unclosed_count_and_idempotent_end(self):
+        tr = SpanTracer()
+        sid = tr.span_begin(0.0, "cclo0.uc", "step")
+        assert tr.unclosed_count == 1
+        tr.span_end(1.0, sid)
+        tr.span_end(2.0, sid)        # double-close: ignored
+        tr.span_end(2.0, 99999)      # unknown id: ignored
+        assert tr.unclosed_count == 0
+        assert len(tr.completed_spans) == 1
+
+    def test_span_capacity_evicts_and_counts(self):
+        tr = SpanTracer(span_capacity=2)
+        for i in range(4):
+            tr.span_complete("cclo0.uc", f"s{i}", float(i), float(i) + 0.5)
+        assert len(tr.completed_spans) == 2
+        assert tr.spans_dropped == 2
+
+    def test_spans_feed_flat_event_trace(self):
+        """SpanTracer is a Tracer: existing flat-event consumers keep
+        working on the same instance."""
+        tr = SpanTracer()
+        sid = tr.span_begin(0.0, "cclo0.uc", "step")
+        tr.span_end(1.0, sid)
+        summary = tr.summary()
+        assert summary.get("cclo0.uc.span_begin") == 1
+        assert summary.get("cclo0.uc.span_end") == 1
+
+
+class TestExporters:
+    def _small_trace(self):
+        tr = SpanTracer()
+        op = tr.next_op_id()
+        root = tr.span_begin(0.0, "cclo0.driver", "collective:send",
+                             phase="collective", op_id=op, nbytes=64)
+        tr.span_complete("cclo0.uc", "dispatch", 0.0, 2e-6, phase="uc",
+                         op_id=op)
+        tr.span_complete("cclo0.dmp", "instr", 2e-6, 6e-6, phase="dmp",
+                         op_id=op)
+        tr.span_complete("cclo0.wire", "wire:eager", 5e-6, 8e-6,
+                         phase="wire", op_id=op)
+        tr.span_end(10e-6, root)
+        return tr, op
+
+    def test_chrome_trace_schema(self, tmp_path):
+        tr, _ = self._small_trace()
+        doc = to_chrome_trace(tr)
+        assert validate_chrome_trace(doc) == []
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {
+            "collective:send", "dispatch", "instr", "wire:eager"}
+        for e in xs:
+            assert e["dur"] > 0 and isinstance(e["ts"], float)
+        # one pid (cclo0), one tid per component
+        assert len({e["pid"] for e in xs}) == 1
+        assert len({e["tid"] for e in xs}) == 4
+        path = tmp_path / "trace.json"
+        assert write_chrome_trace(tr, str(path)) == 4
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+    def test_validate_flags_bad_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents missing or not a "
+                                             "list"]
+        bad = {"traceEvents": [
+            {"ph": "X", "ts": "soon", "dur": 1, "pid": 1, "tid": 1,
+             "name": "a"},
+            {"ph": "X", "ts": 0, "dur": -1, "pid": 1, "tid": 1, "name": "b"},
+            {"ph": "Q", "name": "c"},
+            {"ph": "X", "name": "d"},
+        ]}
+        problems = validate_chrome_trace(bad)
+        assert len(problems) == 4
+
+    def test_phase_breakdown_sums_to_wall(self):
+        tr, op = self._small_trace()
+        bd = phase_breakdown(tr, op)
+        assert bd["wall_s"] == pytest.approx(10e-6)
+        assert sum(bd["phases"].values()) == pytest.approx(bd["wall_s"])
+        # dmp [2,6]us overlaps wire [5,8]us: wire wins the [5,6] overlap
+        assert bd["phases"]["wire"] == pytest.approx(3e-6)
+        assert bd["phases"]["dmp"] == pytest.approx(3e-6)
+        assert bd["phases"]["uc"] == pytest.approx(2e-6)
+        assert bd["phases"]["other"] == pytest.approx(2e-6)
+        assert sum(bd["fractions"].values()) == pytest.approx(1.0)
+
+    def test_phase_breakdown_errors(self):
+        tr = SpanTracer()
+        with pytest.raises(KeyError):
+            phase_breakdown(tr, 7)
+        op = tr.next_op_id()
+        tr.span_begin(0.0, "cclo0.uc", "collective:send",
+                      phase="collective", op_id=op)
+        with pytest.raises(ValueError):
+            phase_breakdown(tr, op)
+
+    def test_render_phase_table(self):
+        tr, op = self._small_trace()
+        table = render_phase_table([phase_breakdown(tr, op)])
+        assert "collective:send" in table and "wire%" in table
+
+    def test_metrics_csv(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("tx", node="n0").inc(3)
+        reg.histogram("lat").observe(1.0)
+        path = tmp_path / "metrics.csv"
+        assert metrics_to_csv(reg, str(path)) == 2
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("metric,kind,")
+        assert any("tx{node=n0}" in ln for ln in lines)
+
+
+class TestClusterWiring:
+    def test_attach_collects_spans_and_metrics(self):
+        from repro.bench.harness import accl_collective_time
+
+        cluster = make_cluster(2)
+        obs = Observability().attach(cluster)
+        # direct engine call path: the uC allocates the op id
+        from repro.sim import all_of
+        from tests.helpers import collective_args, dev_buffer, \
+            empty_dev_buffer
+        import numpy as np
+
+        payload = np.ones(256, np.float32)
+        sview = dev_buffer(cluster, 0, payload)
+        rview = empty_dev_buffer(cluster, 1, 256)
+        events = [
+            cluster.engine(1).call(collective_args(
+                opcode="recv", peer=0, nbytes=payload.nbytes, rbuf=rview)),
+            cluster.engine(0).call(collective_args(
+                opcode="send", peer=1, nbytes=payload.nbytes, sbuf=sview)),
+        ]
+        cluster.env.run(until=all_of(cluster.env, events))
+
+        assert obs.tracer.unclosed_count == 0
+        ops = obs.tracer.op_ids()
+        assert len(ops) == 2
+        for op in ops:
+            bd = phase_breakdown(obs.tracer, op)
+            assert sum(bd["phases"].values()) == pytest.approx(
+                bd["wall_s"], rel=1e-9)
+        assert validate_chrome_trace(to_chrome_trace(obs.tracer)) == []
+        rows = {r["metric"]: r for r in obs.registry.rows()}
+        assert rows["uc_commands_executed{node=cclo0}"]["value"] >= 1
+        assert rows["kernel_events_processed"]["value"] > 0
+        del accl_collective_time  # imported only to assert availability
+
+    def test_disabled_cluster_records_nothing(self):
+        cluster = make_cluster(2)
+        engine = cluster.engine(0)
+        assert engine.tracer is None
+        assert engine._span_tracer is None
+        assert engine.span_begin("uc", "x") == -1
+        engine.span_end(-1)  # must be a no-op, not crash
+        assert engine.next_op_id() == -1
+
+    def test_global_enable_auto_attaches(self):
+        bundle = obs_runtime.enable()
+        try:
+            cluster = make_cluster(2)
+            assert cluster.engine(0)._span_tracer is bundle.tracer
+            assert len(bundle.registry) > 0
+        finally:
+            obs_runtime.disable()
+        cluster = make_cluster(2)
+        assert cluster.engine(0)._span_tracer is None
+
+    def test_scoped_swaps_and_restores(self):
+        outer = obs_runtime.enable()
+        try:
+            with obs_runtime.scoped() as inner:
+                assert obs_runtime.get_global() is inner
+                assert inner is not outer
+            assert obs_runtime.get_global() is outer
+        finally:
+            obs_runtime.disable()
+        assert not obs_runtime.is_enabled()
+
+
+class TestCapture:
+    def test_traceable_artifacts_listed(self):
+        names = traceable_artifacts()
+        assert "fig08" in names and "fig07" in names
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            trace_artifact("fig99")
+
+    def test_fig08_capture_end_to_end(self):
+        cap = trace_artifact("fig08")
+        assert cap.op_ids and cap.tracer.unclosed_count == 0
+        for bd in cap.breakdowns():
+            assert sum(bd["phases"].values()) == pytest.approx(
+                bd["wall_s"], rel=1e-9)
+        assert validate_chrome_trace(to_chrome_trace(cap.tracer)) == []
+
+    def test_allreduce_capture_attributes_wire_time(self):
+        cap = trace_artifact("allreduce", nbytes=16 * units.KIB, n_nodes=2)
+        assert cap.tracer.unclosed_count == 0
+        total_wire = sum(bd["phases"]["wire"] for bd in cap.breakdowns())
+        assert total_wire > 0  # data moved, so some wall time is wire time
+
+
+class TestRunnerIntegration:
+    def test_enabled_sweep_merges_worker_metrics(self):
+        from repro.bench.runner import SweepPoint, SweepRunner
+        import repro.bench.harness  # noqa: F401 — registers kernels
+
+        bundle = obs_runtime.enable()
+        try:
+            runner = SweepRunner(jobs=1, cache=None)
+            runner.run([SweepPoint.make(
+                "t", "accl_collective", opcode="allreduce",
+                size=4 * units.KIB, n_nodes=2)])
+            merged = bundle.registry.snapshot()
+        finally:
+            obs_runtime.disable()
+        assert any(k.startswith("uc_commands_executed")
+                   for k in merged["gauges"])
+
+    def test_disabled_sweep_ships_no_obs(self):
+        from repro.bench.runner import SweepPoint, execute_point
+
+        out = execute_point(SweepPoint.make(
+            "t", "accl_collective", opcode="allreduce",
+            size=4 * units.KIB, n_nodes=2))
+        assert "obs" not in out
+        assert out["dropped"] >= 0

@@ -119,7 +119,42 @@ class TestTracerCore:
         path = tmp_path / "trace.csv"
         assert tracer.to_csv(str(path)) == 1
         content = path.read_text()
-        assert "uc" in content and "opcode=send" in content
+        assert "uc" in content and '""opcode"": ""send""' in content
+
+    def test_csv_round_trip_preserves_hostile_details(self, tmp_path):
+        """Regression: detail values containing the old ';'/'=' field
+        separators must survive to_csv -> read_csv unchanged."""
+        tracer = Tracer()
+        tracer.record(1e-6, "uc", "dispatch",
+                      expr="a=b;c=d", note="x;y", n=3)
+        path = tmp_path / "trace.csv"
+        tracer.to_csv(str(path))
+        (ev,) = Tracer.read_csv(str(path))
+        detail = ev.detail_dict()
+        assert detail["expr"] == "a=b;c=d"
+        assert detail["note"] == "x;y"
+        assert detail["n"] == 3
+        assert ev.component == "uc" and ev.event == "dispatch"
+        assert ev.time == pytest.approx(1e-6)
+
+    def test_read_csv_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "not_a_trace.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            Tracer.read_csv(str(path))
+
+    def test_spans_with_counts_reports_truncation(self):
+        tracer = Tracer()
+        tracer.record(1.0, "dmp", "retire")   # start was evicted/not seen
+        tracer.record(2.0, "dmp", "issue")
+        tracer.record(3.0, "dmp", "retire")
+        tracer.record(4.0, "dmp", "issue")    # never retires
+        durations, counts = tracer.spans("dmp", "issue", "retire",
+                                         with_counts=True)
+        assert durations == [1.0]
+        assert counts == {"unclosed": 1, "unmatched_ends": 1}
+        # default return shape is unchanged for existing callers
+        assert tracer.spans("dmp", "issue", "retire") == [1.0]
 
 
 class TestEngineIntegration:
