@@ -10,6 +10,9 @@ Usage::
     python -m repro.bench profile fig08 --quick --obs
     python -m repro.bench profile kernel
     python -m repro.bench trace fig08 --trace-out trace.json
+    python -m repro.bench critpath fig07 --flamegraph-out flame.txt
+    python -m repro.bench check
+    python -m repro.bench check fig07 --update
 
 Options::
 
@@ -45,6 +48,29 @@ Options::
     --trace-out PATH           write Chrome trace-event JSON — open the file
                                at https://ui.perfetto.dev
     --metrics-out PATH         write the metrics registry as CSV
+    --json OUT                 write the per-op phase breakdowns as JSON
+    --flamegraph-out PATH      write collapsed-stack flamegraph lines
+
+``critpath`` mode (see :mod:`repro.obs.critpath`)::
+
+    critpath <artifact>        replay the artifact's traced scenario and
+                               print each collective's critical path with
+                               per-wait-cause totals; the cause totals
+                               reconcile exactly against the phase buckets
+                               and the op's wall sim-time
+    --json OUT                 write the critical-path reports as JSON
+    --flamegraph-out PATH      write collapsed-stack flamegraph lines
+
+``check`` mode (see :mod:`repro.bench.check`)::
+
+    check [scenario ...]       replay the traced scenarios and diff their
+                               metrics/perf snapshot against the committed
+                               baseline; exit 1 on any regression
+    --baseline PATH            baseline file (default:
+                               benchmarks/obs_baseline.json)
+    --update                   write the current collection as the new
+                               baseline instead of diffing
+    --tolerance X              override the default relative tolerance
 """
 
 from __future__ import annotations
@@ -202,6 +228,17 @@ def _parser() -> argparse.ArgumentParser:
                         help="trace mode: write Chrome trace JSON to PATH")
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="trace mode: write the metrics registry CSV")
+    parser.add_argument("--flamegraph-out", default=None, metavar="PATH",
+                        help="trace/critpath mode: write collapsed-stack "
+                             "flamegraph lines to PATH")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="check mode: baseline file (default: "
+                             "benchmarks/obs_baseline.json)")
+    parser.add_argument("--update", action="store_true",
+                        help="check mode: rewrite the baseline from this run")
+    parser.add_argument("--tolerance", type=float, default=None, metavar="X",
+                        help="check mode: override the default relative "
+                             "tolerance")
     return parser
 
 
@@ -285,6 +322,97 @@ def _trace_main(args) -> int:
         n = metrics_to_csv(cap.obs.registry, args.metrics_out)
         print(f"wrote {n} metric rows to {args.metrics_out}",
               file=sys.stderr)
+    if args.json_out:
+        doc = {"artifact": cap.artifact, "description": cap.description,
+               "summary": summary, "ops": cap.breakdowns()}
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"wrote {len(doc['ops'])} per-op breakdowns to "
+              f"{args.json_out}", file=sys.stderr)
+    if args.flamegraph_out:
+        from repro.obs.critpath import write_flamegraph
+
+        n = write_flamegraph(cap.tracer, args.flamegraph_out, cap.op_ids)
+        print(f"wrote {n} collapsed stacks to {args.flamegraph_out}",
+              file=sys.stderr)
+    return 0
+
+
+def _critpath_main(args) -> int:
+    from repro.obs import capture
+    from repro.obs.critpath import (critical_path, render_critpath,
+                                    write_flamegraph)
+
+    if len(args.names) != 2:
+        print("usage: python -m repro.bench critpath <artifact> "
+              "[--json OUT] [--flamegraph-out PATH]", file=sys.stderr)
+        print("traceable:", ", ".join(capture.traceable_artifacts()),
+              file=sys.stderr)
+        return 2
+    try:
+        cap = capture.trace_artifact(args.names[1])
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    print(f"critpath {cap.artifact}: {cap.description}")
+    print()
+    reports = [critical_path(cap.tracer, op) for op in cap.op_ids]
+    for report in reports:
+        print(render_critpath(report))
+        print()
+    if args.json_out:
+        doc = {"artifact": cap.artifact, "description": cap.description,
+               "ops": reports}
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"wrote {len(reports)} critical-path reports to "
+              f"{args.json_out}", file=sys.stderr)
+    if args.flamegraph_out:
+        n = write_flamegraph(cap.tracer, args.flamegraph_out, cap.op_ids)
+        print(f"wrote {n} collapsed stacks to {args.flamegraph_out}",
+              file=sys.stderr)
+    return 0
+
+
+def _check_main(args) -> int:
+    from repro.bench import check as check_mod
+
+    baseline_path = args.baseline or check_mod.DEFAULT_BASELINE
+    scenarios = args.names[1:] or None
+    current = check_mod.collect(scenarios)
+    if args.update:
+        previous = None
+        try:
+            previous = check_mod.load_baseline(baseline_path)
+        except (OSError, ValueError):
+            pass
+        check_mod.write_baseline(baseline_path, current, previous)
+        n = len(current["scenarios"])
+        print(f"wrote baseline for {n} scenario(s) to {baseline_path}")
+        return 0
+    try:
+        baseline = check_mod.load_baseline(baseline_path)
+    except OSError:
+        print(f"no baseline at {baseline_path}; create one with "
+              "`python -m repro.bench check --update`", file=sys.stderr)
+        return 2
+    if scenarios:
+        baseline = dict(baseline)
+        baseline["scenarios"] = {
+            name: metrics
+            for name, metrics in baseline.get("scenarios", {}).items()
+            if name in set(scenarios)
+        }
+    rows = check_mod.compare(baseline, current, default_tol=args.tolerance)
+    print(check_mod.render_check_table(rows))
+    bad = check_mod.violations(rows)
+    if bad:
+        print(f"REGRESSION: {len(bad)} metric(s) out of tolerance "
+              f"(baseline: {baseline_path})", file=sys.stderr)
+        return 1
+    print(f"check ok: {len(rows)} metrics within tolerance "
+          f"(baseline: {baseline_path})")
     return 0
 
 
@@ -299,6 +427,10 @@ def main(argv=None) -> int:
         return _profile_main(args)
     if args.names[0] == "trace":
         return _trace_main(args)
+    if args.names[0] == "critpath":
+        return _critpath_main(args)
+    if args.names[0] == "check":
+        return _check_main(args)
     run_all = args.names == ["all"]
     names = sorted(ARTIFACTS) if run_all else args.names
     unknown = [n for n in names if n not in ARTIFACTS]

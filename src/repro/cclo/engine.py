@@ -85,6 +85,7 @@ class CcloEngine:
             env, self.config_mem, self, registry, name=f"{name}.uc"
         )
         self.rx.uc_charge = self.uc.charge
+        self.rx.uc_pipe = self.uc._uc_time
 
         #: kernel -> CCLO data stream (items: ``(nbytes, data)``)
         self.kernel_data_in = Channel(env, capacity=64, name=f"{name}.k_in")
@@ -122,6 +123,11 @@ class CcloEngine:
             self._span_begin = None
             self._span_end = None
             self._span_complete = None
+        # Sub-blocks with their own blocking sites get the raw hook; they
+        # carry node-qualified component names already.
+        self.rbm._span_complete = self._span_complete
+        self.rx._span_complete = self._span_complete
+        self.rx._trace_node = self.name
         bind = getattr(self.poe, "bind_tracer", None)
         if bind is not None:
             bind(self._span_tracer, self.name)

@@ -123,13 +123,35 @@ class FirmwareContext:
         Returns a plain delay for the firmware to ``yield`` — the kernel's
         allocation-free sleep path.
         """
-        delay = self.uc.charge(instructions)
         span_complete = self.engine._span_complete
-        if span_complete is not None and delay > 0:
+        if span_complete is None:
+            return self.uc.charge(instructions)
+        # Record-only split of the charge: the pipe backlog before our
+        # instructions start is a uc_dispatch wait (another command holds
+        # the sequential core), the rest is our own execution.
+        queued_until = self.uc._uc_time.busy_until()
+        delay = self.uc.charge(instructions)
+        if delay > 0:
             now = self.env.now
-            span_complete(f"{self.engine.name}.uc", "step", now, now + delay,
+            comp = f"{self.engine.name}.uc"
+            if queued_until > now:
+                span_complete(comp, "wait:uc_dispatch", now, queued_until,
+                              phase="wait", op_id=self.args.op_id,
+                              cause="uc_dispatch")
+            span_complete(comp, "step", queued_until, now + delay,
                           phase="uc", op_id=self.args.op_id)
         return delay
+
+    def _wait_span(self, t0: float, cause: str, **detail) -> None:
+        """Record a blocking interval ``[t0, now]`` with its cause."""
+        span_complete = self.engine._span_complete
+        if span_complete is None:
+            return
+        now = self.env.now
+        if now > t0:
+            span_complete(f"{self.engine.name}.uc", f"wait:{cause}", t0, now,
+                          phase="wait", op_id=self.args.op_id, cause=cause,
+                          **detail)
 
     def _issue(self, mc: Microcode) -> Event:
         """Issue DMP microcode stamped with this command's op id."""
@@ -256,9 +278,11 @@ class FirmwareContext:
         dest_addr = self.comm.address_of(dst_rank)
         if protocol == "rndz":
             # Wait for the receiver's buffer-address resolution (arrow 3).
+            t_wait = self.env.now
             init_sig = yield self.engine.rx.rndz_init.wait(
                 (self.args.comm_id, dst_rank, tag)
             )
+            self._wait_span(t_wait, "rendezvous", peer=dst_rank, side="send")
             descriptor = init_sig.payload_meta
             signature = Signature(
                 comm_id=self.args.comm_id, src_rank=self.rank,
@@ -317,11 +341,13 @@ class FirmwareContext:
         yield self.engine.tx.send_control(
             init, self.comm.address_of(src_rank)
         )
+        t_wait = self.env.now
         yield self.engine.rx.rndz_done.wait(
             (self.args.comm_id, src_rank, tag)
         )
         entry = self.engine.claim_rndz_target(target_id)
         yield entry["written"]
+        self._wait_span(t_wait, "rendezvous", peer=src_rank, side="recv")
         return entry.get("data")
 
     def _recv_reduce_proc(self, src_rank: int, acc: Any, nbytes: int,
@@ -391,7 +417,7 @@ class MicroController:
     def call(self, args: CollectiveArgs) -> Event:
         """Enqueue a command; the event fires when its firmware finishes."""
         completion = Event(self.env)
-        self.commands.try_put((args, completion))
+        self.commands.try_put((args, completion, self.env.now))
         return completion
 
     def _dispatch_loop(self):
@@ -400,8 +426,11 @@ class MicroController:
         )
         engine = self.engine
         while True:
-            args, completion = yield self.commands.get()
-            t0 = self.env.now
+            args, completion, enq_t = yield self.commands.get()
+            # Everything between enqueue and the start of our dispatch
+            # charge is serialization behind other commands: time spent in
+            # the FIFO plus the uC-time pipe's existing backlog.
+            queued_until = self._uc_time.busy_until()
             yield self.charge(dispatch_instrs)
             self.engine.trace("uc", "dispatch", opcode=args.opcode,
                               nbytes=args.nbytes, tag=args.tag)
@@ -413,12 +442,17 @@ class MicroController:
                 if args.op_id < 0:
                     args.op_id = engine.next_op_id()
                     root_sid = engine._span_begin(
-                        t0, f"{engine.name}.uc",
+                        enq_t, f"{engine.name}.uc",
                         f"collective:{args.opcode}", phase="collective",
                         op_id=args.op_id, nbytes=args.nbytes)
-                engine.span_complete("uc", "dispatch", t0, self.env.now,
-                                     phase="uc", op_id=args.op_id,
-                                     opcode=args.opcode)
+                if queued_until > enq_t:
+                    engine.span_complete(
+                        "uc", "wait:uc_dispatch", enq_t, queued_until,
+                        phase="wait", op_id=args.op_id, cause="uc_dispatch",
+                        opcode=args.opcode)
+                engine.span_complete("uc", "dispatch", queued_until,
+                                     self.env.now, phase="uc",
+                                     op_id=args.op_id, opcode=args.opcode)
             if args.opcode == "nop":
                 engine.span_end(root_sid)
                 completion.succeed(None)

@@ -61,6 +61,8 @@ class RxBufManager:
         self.messages_buffered = 0
         self.bytes_buffered = 0
         self.high_watermark = 0
+        # Span hook (None = disabled): bound by the engine's attach_tracer.
+        self._span_complete = None
 
     @property
     def free_bytes(self) -> int:
@@ -80,8 +82,16 @@ class RxBufManager:
 
     def _store(self, signature: Signature, data: Any):
         reserve = max(1, signature.nbytes)
+        t_q = self.env.now
         yield self._slots.take(1)
         yield self._space.take(reserve)
+        span_complete = self._span_complete
+        if span_complete is not None and self.env.now > t_q:
+            # Pool exhaustion stalled this inbound eager message — the
+            # back-pressure the rendezvous protocol exists to avoid.
+            span_complete(self.name, "wait:rx_pool", t_q, self.env.now,
+                          phase="wait", op_id=signature.op_id,
+                          cause="rx_pool", nbytes=signature.nbytes)
         # Stage the payload into the selected Rx buffer (memory write).
         if signature.nbytes > 0:
             yield self.memory.write(signature.nbytes)

@@ -147,6 +147,11 @@ class RxSystem:
         #: ACCL-v1 hook: set by the engine to the uC's charge function so
         #: per-packet receive work serializes through the micro-processor.
         self.uc_charge = None
+        #: the uC-time pipe behind ``uc_charge`` (for wait attribution)
+        self.uc_pipe = None
+        # Span hook (None = disabled): bound by the engine's attach_tracer.
+        self._span_complete = None
+        self._trace_node = name
 
     def handle(self, header: MessageHeader, data: Any) -> None:
         """POE delivery callback: depacketize and dispatch by message type."""
@@ -168,7 +173,24 @@ class RxSystem:
 
             def uc_handled():
                 yield fsm
-                yield self.uc_charge(instructions)
+                span_complete = self._span_complete
+                if span_complete is not None and self.uc_pipe is not None:
+                    t_q = self.env.now
+                    queued_until = self.uc_pipe.busy_until()
+                    yield self.uc_charge(instructions)
+                    now = self.env.now
+                    comp = f"{self._trace_node}.rx"
+                    if queued_until > t_q:
+                        span_complete(comp, "wait:uc_dispatch", t_q,
+                                      queued_until, phase="wait",
+                                      op_id=signature.op_id,
+                                      cause="uc_dispatch")
+                    if now > queued_until:
+                        span_complete(comp, "uc_rx", queued_until, now,
+                                      phase="uc", op_id=signature.op_id,
+                                      nbytes=signature.nbytes)
+                else:
+                    yield self.uc_charge(instructions)
                 self._dispatch(signature, data)
 
             self.env.process(uc_handled(), name=f"{self.name}.uc_rx")

@@ -268,6 +268,15 @@ class Accl:
             return request.wait()
         return request
 
+    def _pcie_wait(self, args: CollectiveArgs, t0: float, step: str) -> None:
+        """Record host<->device time (MMIO/XDMA) as a ``wait:pcie`` span."""
+        span_complete = self.engine._span_complete
+        now = self.env.now
+        if span_complete is not None and args.op_id >= 0 and now > t0:
+            span_complete(f"{self.engine.name}.driver", "wait:pcie", t0, now,
+                          phase="wait", op_id=args.op_id, cause="pcie",
+                          step=step)
+
     def _invoke(self, args: CollectiveArgs, stage: list, unstage: list):
         # Observability: allocate the collective's op id and open its root
         # span; every uC/DMP/POE/wire span downstream links back to it.
@@ -279,16 +288,22 @@ class Accl:
                 op_id=args.op_id, nbytes=args.nbytes, rank=self.rank)
         try:
             # Host -> CCLO invocation cost (MMIO doorbell + ack).
+            t_mark = self.env.now
             yield self.platform.invoke_from_host()
+            self._pcie_wait(args, t_mark, "invoke")
             # Partitioned memory: migrate host inputs to device memory first.
             for view in stage:
                 if view is not None and self.platform.requires_staging(view.buffer):
+                    t_mark = self.env.now
                     yield self.platform.stage_in(view.buffer)
+                    self._pcie_wait(args, t_mark, "stage_in")
             yield self.engine.call(args)
             # ...and migrate results back afterwards.
             for view in unstage:
                 if view is not None and self.platform.requires_staging(view.buffer):
+                    t_mark = self.env.now
                     yield self.platform.stage_out(view.buffer)
+                    self._pcie_wait(args, t_mark, "stage_out")
         finally:
             self.engine.span_end(root_sid)
         return args.opcode

@@ -56,6 +56,13 @@ class Link:
         # self-rescheduling heap entry can drain the queue in order.
         self._in_flight: Deque[Tuple[float, Segment]] = deque()
         self._pump_scheduled = False
+        # Span tracing (None = disabled): bound via bind_tracer.
+        self._span_tracer = None
+
+    def bind_tracer(self, span_tracer) -> None:
+        """Record queueing delay behind this link as ``wait:link_busy``
+        spans (record-only; ``None`` deactivates)."""
+        self._span_tracer = span_tracer
 
     def connect(self, sink: Callable[[Segment], None]) -> None:
         """Attach the receiving side; exactly one sink per link."""
@@ -86,6 +93,20 @@ class Link:
                 "protocol engines must segment large messages"
             )
         env = self.env
+        tracer = self._span_tracer
+        if tracer is not None:
+            queued_until = self._pipe.busy_until()
+            if queued_until > env.now:
+                # The serializer is still busy with earlier traffic: the
+                # segment queues.  Attribute the head-of-line delay to the
+                # owning collective (ack/credit segments carry no op id).
+                meta = getattr(segment.meta, "meta", None)
+                op = getattr(meta, "op_id", -1)
+                if op >= 0:
+                    tracer.span_complete(
+                        self.name, "wait:link_busy", env.now, queued_until,
+                        phase="wait", op_id=op, cause="link_busy",
+                        nbytes=segment.wire_bytes)
         egress_done = self._pipe.reserve(segment.wire_bytes)
         self.segments_carried += 1
         deliver_at = egress_done + self.latency

@@ -73,6 +73,18 @@ class StarTopology:
         """Zero-byte one-way fabric latency: two links + switch forwarding."""
         return 2 * self.link_latency + self.switch.forwarding_latency
 
+    def iter_links(self) -> List[Link]:
+        """Every link in the fabric (uplinks and switch egress), once each."""
+        links: List[Link] = []
+        seen = set()
+        candidates = [ep.uplink for ep in self.endpoints]
+        candidates.extend(self.switch._egress.values())
+        for link in candidates:
+            if link is not None and id(link) not in seen:
+                seen.add(id(link))
+                links.append(link)
+        return links
+
     def __repr__(self) -> str:
         return f"<StarTopology {self.name!r} n={len(self._endpoints)}>"
 
@@ -164,6 +176,21 @@ class LeafSpineTopology:
         switches = 3 if cross_leaf else 1
         forwarding = self._spines[0].forwarding_latency
         return hops * self.link_latency + switches * forwarding
+
+    def iter_links(self) -> List[Link]:
+        """Every link in the fabric, once each: endpoint up/downlinks plus
+        every leaf/spine egress and default route."""
+        links: List[Link] = []
+        seen = set()
+        candidates: List[Link] = [ep.uplink for ep in self.endpoints]
+        for switch in self._leaves + self._spines:
+            candidates.extend(switch._egress.values())
+            candidates.extend(switch._default_routes)
+        for link in candidates:
+            if link is not None and id(link) not in seen:
+                seen.add(id(link))
+                links.append(link)
+        return links
 
     def __repr__(self) -> str:
         return (

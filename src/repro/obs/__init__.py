@@ -10,7 +10,9 @@ The simulation platform exists to shorten "hardware debugging cycles"
   with ids, parent links and per-collective ``op_id`` propagation layered on
   the flat :class:`repro.trace.Tracer` ring buffer;
 - :mod:`repro.obs.export` — Chrome trace-event JSON (opens in Perfetto),
-  CSV metrics dumps and the :func:`phase_breakdown` report API.
+  CSV metrics dumps and the :func:`phase_breakdown` report API;
+- :mod:`repro.obs.critpath` — per-collective critical paths with
+  wait-cause attribution, blocking DAGs and collapsed-stack flamegraphs.
 
 Everything is opt-in: with no registry and no tracer attached (the
 default), instrumented components pay at most a ``None`` check.  Enable
@@ -28,12 +30,20 @@ from repro.obs.metrics import (
 )
 from repro.obs.spans import Span, SpanTracer
 from repro.obs.export import (
+    attribute_op,
     metrics_to_csv,
     phase_breakdown,
     render_phase_table,
     to_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
+)
+from repro.obs.critpath import (
+    blocking_dag,
+    critical_path,
+    render_critpath,
+    to_collapsed_stacks,
+    write_flamegraph,
 )
 from repro.obs.runtime import (
     Observability,
@@ -48,6 +58,9 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
     "NULL_REGISTRY", "Span", "SpanTracer", "to_chrome_trace",
     "validate_chrome_trace", "write_chrome_trace", "metrics_to_csv",
-    "phase_breakdown", "render_phase_table", "Observability", "attach",
+    "attribute_op", "phase_breakdown", "render_phase_table",
+    "critical_path", "blocking_dag", "render_critpath",
+    "to_collapsed_stacks", "write_flamegraph",
+    "Observability", "attach",
     "enable", "disable", "get_global", "is_enabled",
 ]

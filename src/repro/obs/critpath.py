@@ -1,0 +1,184 @@
+"""Critical-path extraction and wait-cause attribution (``bench critpath``).
+
+The span tracer records two kinds of intervals per collective ``op_id``:
+*productive* phase spans (uc / dmp / poe / wire — PR 3) and *wait* spans
+(``phase="wait"``, ``cause=...``) recorded at every blocking site of the
+engine — uC dispatch serialization, DMP slot exhaustion, operand match
+stalls, Rx-pool backpressure, rendezvous handshakes, POE flow control
+(TCP retransmission window / RDMA credits), link egress contention and
+PCIe staging.  This module turns them into answers:
+
+- :func:`critical_path` — one exclusive timeline over the op's wall
+  window where every instant is either productive or explained by a wait
+  cause.  Shares its interval sweep with
+  :func:`~repro.obs.export.phase_breakdown` (both are views of
+  :func:`~repro.obs.export.attribute_op`), so the cause totals reconcile
+  exactly against the phase buckets and the wall sim-time.
+- :func:`blocking_dag` — the op's spans as a DAG (parent edges), each
+  node annotated with its cause and whether it lies on the critical path.
+- :func:`to_collapsed_stacks` / :func:`write_flamegraph` — collapsed-stack
+  output (``frame;frame;frame count``) for flamegraph.pl / speedscope /
+  inferno; frame values are exclusive self-time in integer nanoseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.export import attribute_op
+from repro.obs.spans import SpanTracer
+
+
+def critical_path(tracer: SpanTracer, op_id: int) -> Dict[str, Any]:
+    """Exclusive critical-path report for one collective operation.
+
+    Returns the :func:`~repro.obs.export.attribute_op` report:
+    ``segments`` (the path, contiguous over ``[t0, t1]``), ``totals``
+    (exclusive seconds per bucket, summing to ``wall_s``), ``phases`` /
+    ``fractions`` (bitwise-identical to ``phase_breakdown``) and
+    ``wait_observed`` (raw per-cause stall unions).
+    """
+    return attribute_op(tracer, op_id)
+
+
+def blocking_dag(tracer: SpanTracer, op_id: int) -> Dict[str, Any]:
+    """The op's span graph: nodes with cause annotations, parent edges,
+    and the set of span ids that carry the critical path."""
+    report = attribute_op(tracer, op_id)
+    on_path = {seg["sid"] for seg in report["segments"] if seg["sid"] >= 0}
+    root = tracer.root_span(op_id)
+    spans = [root] + [s for s in tracer.spans_for(op_id)
+                      if s.sid != root.sid]
+    ids = {s.sid for s in spans}
+    nodes: List[Dict[str, Any]] = []
+    edges: List[Dict[str, Any]] = []
+    for s in spans:
+        detail = dict(s.detail)
+        nodes.append({
+            "sid": s.sid,
+            "component": s.component,
+            "name": s.name,
+            "phase": s.phase,
+            "cause": detail.get("cause"),
+            "t0": s.t0,
+            "t1": s.t1 if s.closed else None,
+            "dur_s": s.duration if s.closed else None,
+            "on_critical_path": s.sid in on_path or s.sid == root.sid,
+        })
+        if s.parent >= 0 and s.parent in ids and s.sid != root.sid:
+            edges.append({"src": s.sid, "dst": s.parent, "kind": "child"})
+    return {"op_id": op_id, "nodes": nodes, "edges": edges,
+            "critical_sids": sorted(on_path)}
+
+
+def render_critpath(report: Dict[str, Any]) -> str:
+    """Human-readable critical path with per-cause totals and the
+    reconciliation line ``bench critpath`` prints."""
+    wall_us = report["wall_s"] * 1e6
+    lines = [
+        f"op {report['op_id']}  {report['name']}  "
+        f"wall {wall_us:.3f} us  ({report['node']}, "
+        f"{report['spans']} phase spans, {report['wait_spans']} waits)",
+        "  critical path:",
+    ]
+    base = report["t0"]
+    for seg in report["segments"]:
+        where = seg["component"]
+        if seg["span"] and seg["span"] != seg["bucket"]:
+            where = f"{where}  {seg['span']}" if where else seg["span"]
+        lines.append(
+            f"    {(seg['t0'] - base) * 1e6:>10.3f} .. "
+            f"{(seg['t1'] - base) * 1e6:>10.3f} us  "
+            f"{seg['dur_s'] * 1e6:>9.3f} us  {seg['bucket']:<22} {where}")
+    totals = sorted(report["totals"].items(),
+                    key=lambda kv: (-kv[1], kv[0]))
+    lines.append("  totals: " + " | ".join(
+        f"{bucket} {value * 1e6:.3f}us "
+        f"({value / report['wall_s'] * 100 if report['wall_s'] else 0:.1f}%)"
+        for bucket, value in totals if value > 0))
+    observed = sorted(report["wait_observed"].items(),
+                      key=lambda kv: (-kv[1], kv[0]))
+    if observed:
+        lines.append("  waits observed: " + " | ".join(
+            f"{cause} {value * 1e6:.3f}us" for cause, value in observed))
+    path_total = sum(report["totals"].values())
+    phase_total = sum(report["phases"].values())
+    tol = 1e-9 * max(abs(report["wall_s"]), 1e-12)
+    ok = (abs(path_total - report["wall_s"]) <= tol
+          and abs(phase_total - report["wall_s"]) <= tol)
+    lines.append(
+        f"  reconciliation: path {path_total * 1e6:.3f}us == "
+        f"phase buckets {phase_total * 1e6:.3f}us == "
+        f"wall {wall_us:.3f}us [{'OK' if ok else 'MISMATCH'}]")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Collapsed-stack flamegraphs
+# ---------------------------------------------------------------------------
+
+def _child_union(children, lo: float, hi: float) -> float:
+    """Total time the (clipped, merged) child intervals cover in [lo, hi]."""
+    ivs = sorted((max(c.t0, lo), min(c.t1, hi))
+                 for c in children if c.closed and min(c.t1, hi) > max(c.t0, lo))
+    total = 0.0
+    cur_lo = cur_hi = None
+    for a, b in ivs:
+        if cur_hi is None or a > cur_hi:
+            if cur_hi is not None:
+                total += cur_hi - cur_lo
+            cur_lo, cur_hi = a, b
+        else:
+            cur_hi = max(cur_hi, b)
+    if cur_hi is not None:
+        total += cur_hi - cur_lo
+    return total
+
+
+def to_collapsed_stacks(tracer: SpanTracer,
+                        op_ids: Optional[Iterable[int]] = None) -> List[str]:
+    """Collapsed-stack lines (``frame;frame count``), one per unique stack.
+
+    Frames are ``component:name`` along the span's parent chain (op root
+    first); counts are the span's *exclusive* self-time — duration minus
+    the union of its children — in integer nanoseconds, folded across all
+    selected ops.  Pipe the output through ``flamegraph.pl`` or paste it
+    into https://www.speedscope.app.
+    """
+    spans = tracer.completed_spans
+    if op_ids is not None:
+        wanted = set(op_ids)
+        spans = [s for s in spans if s.op_id in wanted]
+    by_sid = {s.sid: s for s in spans}
+    children: Dict[int, List] = {}
+    for s in spans:
+        if s.parent in by_sid:
+            children.setdefault(s.parent, []).append(s)
+    totals: Dict[str, int] = {}
+    for s in spans:
+        frames = []
+        cur = s
+        depth = 0
+        while cur is not None and depth < 64:
+            frames.append(f"{cur.component}:{cur.name}")
+            cur = by_sid.get(cur.parent)
+            depth += 1
+        frames.reverse()
+        self_s = s.duration - _child_union(children.get(s.sid, ()),
+                                           s.t0, s.t1)
+        ns = int(round(max(self_s, 0.0) * 1e9))
+        if ns <= 0:
+            continue
+        key = ";".join(frames)
+        totals[key] = totals.get(key, 0) + ns
+    return [f"{stack} {ns}" for stack, ns in sorted(totals.items())]
+
+
+def write_flamegraph(tracer: SpanTracer, path: str,
+                     op_ids: Optional[Iterable[int]] = None) -> int:
+    """Write :func:`to_collapsed_stacks` output; returns lines written."""
+    lines = to_collapsed_stacks(tracer, op_ids)
+    with open(path, "w") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)

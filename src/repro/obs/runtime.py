@@ -66,6 +66,13 @@ def attach(cluster, obs: Optional[Observability] = None) -> Observability:
                        endpoint=ep.name)
         if ep.uplink is not None:
             ep.uplink.register_metrics(registry, endpoint=ep.name)
+    iter_links = getattr(cluster.topology, "iter_links", None)
+    if iter_links is not None:
+        # Links record queueing stalls as wait:link_busy spans (critical-path
+        # attribution); span-less tracers leave links untraced.
+        span_tracer = obs.tracer if hasattr(obs.tracer, "span_begin") else None
+        for link in iter_links():
+            link.bind_tracer(span_tracer)
     from repro.sim.kernel import Environment
 
     registry.gauge("kernel_events_processed",

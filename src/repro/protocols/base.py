@@ -101,6 +101,9 @@ class BasePoe:
     segment_bytes = 32 * units.KIB
     #: fixed pipeline latency through the POE per message, seconds
     poe_latency = units.ns(300)
+    #: wait-cause label for time blocked in :meth:`_tx_flow_control`
+    #: (subclasses name their mechanism: TCP retx window, RDMA credits)
+    flow_control_cause = "flow_control"
 
     def __init__(self, env: Environment, endpoint: Endpoint, name: str = ""):
         self.env = env
@@ -197,7 +200,18 @@ class BasePoe:
             chunk = min(remaining, segment_bytes) if remaining else 0
             if pace is not None and chunk > 0:
                 yield pace.take(chunk)
-            yield from self._tx_flow_control(header, chunk)
+            if tracer is not None:
+                t_fc = env.now
+                yield from self._tx_flow_control(header, chunk)
+                if env.now > t_fc:
+                    tracer.span_complete(
+                        f"{self._trace_node}.poe",
+                        f"wait:{self.flow_control_cause}",
+                        t_fc, env.now, phase="wait",
+                        op_id=getattr(header.meta, "op_id", -1),
+                        cause=self.flow_control_cause, dst=dst_addr)
+            else:
+                yield from self._tx_flow_control(header, chunk)
             segment = Segment(
                 src=address,
                 dst=dst_addr,

@@ -48,6 +48,8 @@ class RdmaPoe(BasePoe):
     protocol_name = "roce"
     mtu = 4096
     poe_latency = units.ns(300)
+    #: QP-level credit exhaustion is the RDMA flow-control stall
+    flow_control_cause = "credit_stall"
 
     DEFAULT_CREDIT_BYTES = 1 * units.MIB
 

@@ -42,6 +42,9 @@ class TcpPoe(BasePoe):
     protocol_name = "tcp"
     mtu = 1460
     poe_latency = units.ns(500)
+    #: window stalls exist because every segment is mirrored into the
+    #: retransmission buffer; label them as that back-pressure
+    flow_control_cause = "retx_backpressure"
 
     MAX_SESSIONS = 1000
     DEFAULT_WINDOW_BYTES = 256 * units.KIB

@@ -1,0 +1,124 @@
+"""The metrics-backed regression gate (``bench check``)."""
+
+import json
+
+import pytest
+
+from repro.bench import check as check_mod
+from repro.bench.__main__ import main
+
+
+@pytest.fixture(scope="module")
+def fig08_collection():
+    return check_mod.collect(["fig08"])
+
+
+class TestCollect:
+    def test_collection_shape(self, fig08_collection):
+        doc = fig08_collection
+        assert doc["schema"] == 1
+        metrics = doc["scenarios"]["fig08"]
+        assert metrics["ops"] == 2.0
+        assert metrics["spans"] > 0
+        assert metrics["wall_us"] > 0
+        assert metrics["uc_commands_executed"] == 2.0
+        # Attributed phase time covers the whole wall window.
+        phase_total = sum(v for k, v in metrics.items()
+                          if k.startswith("phase_us."))
+        assert phase_total == pytest.approx(metrics["wall_us"], rel=1e-9)
+        # Class-global kernel counters must not leak into the gate.
+        assert not any("kernel" in k for k in metrics)
+
+    def test_collection_is_deterministic(self, fig08_collection):
+        again = check_mod.collect(["fig08"])
+        assert again["scenarios"] == fig08_collection["scenarios"]
+
+
+class TestCompare:
+    def test_self_compare_is_clean(self, fig08_collection):
+        rows = check_mod.compare(fig08_collection, fig08_collection)
+        assert rows and all(row["ok"] for row in rows)
+        assert check_mod.violations(rows) == []
+
+    def test_deviation_beyond_tolerance_fails(self, fig08_collection):
+        import copy
+
+        current = copy.deepcopy(fig08_collection)
+        current["scenarios"]["fig08"]["wall_us"] *= 1.10
+        rows = check_mod.compare(fig08_collection, current)
+        bad = check_mod.violations(rows)
+        assert [row["metric"] for row in bad] == ["wall_us"]
+        # A generous tolerance lets the same deviation pass.
+        rows = check_mod.compare(fig08_collection, current, default_tol=0.5)
+        assert check_mod.violations(rows) == []
+
+    def test_per_metric_tolerance_overrides(self, fig08_collection):
+        import copy
+
+        baseline = copy.deepcopy(fig08_collection)
+        baseline["tolerances"] = {"fig08.wall_us": 0.5, "spans": 0.0}
+        current = copy.deepcopy(fig08_collection)
+        current["scenarios"]["fig08"]["wall_us"] *= 1.10
+        rows = check_mod.compare(baseline, current)
+        assert check_mod.violations(rows) == []
+
+    def test_missing_scenario_and_metric_fail(self, fig08_collection):
+        import copy
+
+        baseline = copy.deepcopy(fig08_collection)
+        baseline["scenarios"]["ghost"] = {"ops": 1.0}
+        current = copy.deepcopy(fig08_collection)
+        del current["scenarios"]["fig08"]["spans"]
+        rows = check_mod.compare(baseline, current)
+        notes = {(r["scenario"], r["metric"]): r["note"]
+                 for r in check_mod.violations(rows)}
+        assert notes[("ghost", "*")] == "scenario missing from current run"
+        assert notes[("fig08", "spans")] == "missing"
+
+    def test_render_table_flags_failures(self, fig08_collection):
+        import copy
+
+        current = copy.deepcopy(fig08_collection)
+        current["scenarios"]["fig08"]["wall_us"] *= 2
+        table = check_mod.render_check_table(
+            check_mod.compare(fig08_collection, current))
+        assert "FAIL" in table and "wall_us" in table
+
+
+class TestCheckCli:
+    def test_update_then_pass_then_regress(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["check", "fig08", "--update",
+                     "--baseline", str(baseline)]) == 0
+        assert main(["check", "fig08", "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        doc = json.loads(baseline.read_text())
+        doc["scenarios"]["fig08"]["wall_us"] *= 1.5
+        baseline.write_text(json.dumps(doc))
+        assert main(["check", "fig08", "--baseline", str(baseline)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_missing_baseline_hints_update(self, tmp_path, capsys):
+        rc = main(["check", "fig08",
+                   "--baseline", str(tmp_path / "none.json")])
+        assert rc == 2
+        assert "--update" in capsys.readouterr().err
+
+    def test_update_merges_and_keeps_tolerances(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        assert main(["check", "fig08", "--update",
+                     "--baseline", str(baseline)]) == 0
+        doc = json.loads(baseline.read_text())
+        doc["tolerances"] = {"fig08.wall_us": 0.3}
+        doc["scenarios"]["keepme"] = {"ops": 1.0}
+        baseline.write_text(json.dumps(doc))
+        assert main(["check", "fig08", "--update",
+                     "--baseline", str(baseline)]) == 0
+        merged = json.loads(baseline.read_text())
+        assert merged["tolerances"] == {"fig08.wall_us": 0.3}
+        assert "keepme" in merged["scenarios"]
+        assert "fig08" in merged["scenarios"]
+
+    def test_committed_baseline_passes(self):
+        """The repo baseline must stay green (the CI gate's clean run)."""
+        assert main(["check"]) == 0

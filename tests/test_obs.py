@@ -105,6 +105,38 @@ class TestMetrics:
         merged = parent.histogram("lat{node=n0}")
         assert merged.count == 3 and merged.total == 13.0
 
+    def test_merge_is_order_independent(self):
+        """Folding worker snapshots must commute: any arrival order of the
+        pooled-sweep results yields the same merged registry."""
+        import random
+
+        snapshots = []
+        for i in range(5):
+            worker = MetricsRegistry()
+            worker.counter("tx", node="n0").inc(i + 1)
+            worker.counter("rx", node=f"n{i % 2}").inc(10 * i)
+            worker.gauge("hw", node="n0").set(float(i * 3 % 7))
+            for v in (float(i), float(i) / 2):
+                worker.histogram("lat", node="n0").observe(v)
+            snapshots.append(worker.snapshot())
+
+        def folded(order):
+            parent = MetricsRegistry()
+            for idx in order:
+                parent.merge(snapshots[idx])
+            snap = parent.snapshot()
+            # Histogram observations arrive in merge order; the multiset
+            # is what must match, so compare sorted.
+            hists = {k: sorted(v) for k, v in snap["histograms"].items()}
+            return snap["counters"], snap["gauges"], hists
+
+        rng = random.Random(7)
+        reference = folded(range(len(snapshots)))
+        for _ in range(6):
+            order = list(range(len(snapshots)))
+            rng.shuffle(order)
+            assert folded(order) == reference
+
     def test_snapshot_resolves_callback_gauges(self):
         reg = MetricsRegistry()
         reg.gauge("live", fn=lambda: 42.0)
