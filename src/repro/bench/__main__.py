@@ -71,6 +71,23 @@ Options::
     --update                   write the current collection as the new
                                baseline instead of diffing
     --tolerance X              override the default relative tolerance
+
+``validate-fidelity`` mode (see :mod:`repro.bench.validate`)::
+
+    validate-fidelity [artifact ...]
+                               replay artifacts at packet AND flow fidelity
+                               (cold, sequential) and diff the result trees
+                               against per-artifact tolerances; exit 1 on
+                               any deviation out of tolerance
+    --quick                    size/scale extremes only, CI-sized
+    --json OUT                 write the per-artifact reports as JSON
+
+``profile`` extras::
+
+    --update-baseline          after profiling, fold the report into
+                               benchmarks/perf_baseline.json under the
+                               active fidelity mode (symmetric with
+                               ``check --update``)
 """
 
 from __future__ import annotations
@@ -239,29 +256,72 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--tolerance", type=float, default=None, metavar="X",
                         help="check mode: override the default relative "
                              "tolerance")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="profile mode: record this report in "
+                             "benchmarks/perf_baseline.json under the "
+                             "active fidelity")
     return parser
 
 
 def _perf_history(json_out: str) -> list:
-    """Carry the perf record of previous runs of *json_out* forward, so
-    the committed trajectory keeps its own before/after trail."""
+    """Carry the perf history of previous runs of *json_out* forward, so
+    the committed trajectory keeps its own before/after trail.
+
+    Every run appends its own entry before writing (see ``main``); files
+    written before that convention hold only their totals, so fold those
+    in once (deduplicated) when upgrading.
+    """
     try:
         with open(json_out) as fh:
             previous = json.load(fh)
     except (OSError, ValueError):
         return []
     history = list(previous.get("perf", {}).get("history", []))
-    totals = previous.get("totals", {})
-    wall = totals.get("wall_s", 0.0)
-    events = totals.get("events", 0)
-    if wall and events:
-        history.append({
-            "wall_s": wall,
-            "events": events,
-            "events_per_s": events / wall,
-            "jobs": previous.get("jobs"),
-        })
-    return history[-10:]
+    last = history[-1] if history else {}
+    if "fidelity" not in last:
+        # Pre-convention file: its own run lives only in totals; fold it
+        # in once.  Self-appended entries always carry a fidelity tag.
+        totals = previous.get("totals", {})
+        wall = totals.get("wall_s", 0.0)
+        events = totals.get("events", 0)
+        if wall and events:
+            history.append({
+                "wall_s": wall,
+                "events": events,
+                "events_per_s": events / wall,
+                "jobs": previous.get("jobs"),
+            })
+    return history
+
+
+DEFAULT_PERF_BASELINE = "benchmarks/perf_baseline.json"
+
+
+def _update_perf_baseline(report: dict, path: str) -> str:
+    """Fold *report* into the committed perf baseline under the active
+    fidelity mode (and artifact name), preserving the other entries."""
+    from repro.network.fidelity import default_fidelity
+
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        doc = {"schema": 2, "modes": {}}
+    doc.setdefault("schema", 2)
+    modes = doc.setdefault("modes", {})
+    fidelity = default_fidelity()
+    slot = modes.setdefault(fidelity, {})
+    name = report.get("artifact", "kernel")
+    slot[name] = {
+        key: report[key]
+        for key in ("wall_s", "events", "events_ff", "events_per_s",
+                    "ns_per_event", "quick", "points", "microbenchmarks")
+        if key in report
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return fidelity
 
 
 def _profile_main(args) -> int:
@@ -269,7 +329,8 @@ def _profile_main(args) -> int:
 
     if len(args.names) != 2:
         print("usage: python -m repro.bench profile <artifact>|kernel "
-              "[--quick] [--memory] [--profile-out PATH] [--json OUT]",
+              "[--quick] [--memory] [--profile-out PATH] [--json OUT] "
+              "[--update-baseline]",
               file=sys.stderr)
         return 2
     try:
@@ -285,6 +346,39 @@ def _profile_main(args) -> int:
         with open(args.json_out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
         print(f"wrote profile report to {args.json_out}", file=sys.stderr)
+    if args.update_baseline:
+        path = args.baseline or DEFAULT_PERF_BASELINE
+        fidelity = _update_perf_baseline(report, path)
+        print(f"updated {path} [{fidelity}/{args.names[1]}]",
+              file=sys.stderr)
+    return 0
+
+
+def _validate_main(args) -> int:
+    from repro.bench import validate as validate_mod
+
+    names = args.names[1:] or None
+    try:
+        reports = validate_mod.run_validation(names, quick=args.quick)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(validate_mod.render_validation(reports))
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump({"schema": 1, "reports": reports}, fh, indent=2,
+                      sort_keys=True)
+        print(f"wrote {len(reports)} validation reports to {args.json_out}",
+              file=sys.stderr)
+    bad = [r for r in reports if not r["ok"]]
+    if bad:
+        print(f"FIDELITY MISMATCH: {len(bad)} artifact(s) out of "
+              f"tolerance: {', '.join(r['artifact'] for r in bad)}",
+              file=sys.stderr)
+        return 1
+    total_ff = sum(r["events_fast_forwarded"] for r in reports)
+    print(f"validate-fidelity ok: {len(reports)} artifact(s), "
+          f"{total_ff} events fast-forwarded within tolerance")
     return 0
 
 
@@ -431,6 +525,8 @@ def main(argv=None) -> int:
         return _critpath_main(args)
     if args.names[0] == "check":
         return _check_main(args)
+    if args.names[0] == "validate-fidelity":
+        return _validate_main(args)
     run_all = args.names == ["all"]
     names = sorted(ARTIFACTS) if run_all else args.names
     unknown = [n for n in names if n not in ARTIFACTS]
@@ -472,7 +568,17 @@ def main(argv=None) -> int:
             "cache_misses": 0 if cache is None else cache.misses,
         }
         perf = perf_section(runner.records, wall)
-        perf["history"] = history
+        # Every run appends itself, so the committed trajectory carries
+        # its own before/after perf trail across PRs.
+        history.append({
+            "wall_s": wall,
+            "events": perf["events"],
+            "events_ff": perf["events_ff"],
+            "events_per_s": perf["events_per_s"],
+            "fidelity": perf["fidelity"],
+            "jobs": args.jobs,
+        })
+        perf["history"] = history[-10:]
         trajectory["perf"] = perf
         with open(json_out, "w") as fh:
             json.dump(trajectory, fh, indent=2, sort_keys=True)
@@ -480,14 +586,18 @@ def main(argv=None) -> int:
               f"to {json_out}", file=sys.stderr)
     if run_all:
         events = sum(r.events for r in runner.records if not r.cached)
+        events_ff = sum(r.events_ff for r in runner.records if not r.cached)
         run_wall = sum(r.wall_s for r in runner.records if not r.cached)
-        rate = events / run_wall / 1e3 if run_wall > 0 else 0.0
+        equivalent = events + events_ff
+        rate = equivalent / run_wall / 1e3 if run_wall > 0 else 0.0
         cached_n = sum(1 for r in runner.records if r.cached)
         # Sum per-point drop counts: the class-wide Tracer.total_dropped is
         # per-process and undercounts when points ran in pool workers.
         dropped = sum(r.dropped for r in runner.records)
+        ff_note = f" (+{events_ff} fast-forwarded)" if events_ff else ""
         print(f"all: {len(runner.records)} points ({cached_n} cached), "
-              f"{events} events in {wall:.2f}s — {rate:.1f}k events/s, "
+              f"{events} events{ff_note} in {wall:.2f}s — "
+              f"{rate:.1f}k events/s, "
               f"tracer.dropped={dropped}", file=sys.stderr)
     return 0
 

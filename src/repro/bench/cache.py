@@ -84,13 +84,22 @@ def calibration_fingerprint() -> str:
 
 
 def point_key(artifact: str, kernel: str, params: Dict[str, Any]) -> str:
-    """Content-addressed key for one sweep point."""
+    """Content-addressed key for one sweep point.
+
+    The network fidelity mode is part of the key (read per call, not
+    memoized with the calibration fingerprint): packet- and flow-mode runs
+    of the same point may differ within tolerance, so they must never share
+    a cache entry.
+    """
+    from repro.network.fidelity import default_fidelity
+
     payload = json.dumps(
         {
             "artifact": artifact,
             "kernel": kernel,
             "params": jsonable(params),
             "calibration": calibration_fingerprint(),
+            "fidelity": default_fidelity(),
         },
         sort_keys=True,
     )

@@ -48,11 +48,23 @@ _GAUGE_TOTALS = (
 
 
 def collect(scenarios: Optional[Sequence[str]] = None) -> Dict[str, Any]:
-    """Run the traced scenarios and build a baseline-shaped document."""
+    """Run the traced scenarios and build a baseline-shaped document.
+
+    Always collects at packet fidelity: the baseline's exact span/event
+    counts are only meaningful against the full per-segment simulation, and
+    the gate should not flap when ``$REPRO_FIDELITY=flow`` is exported for
+    a perf run in the same shell.
+    """
+    from repro.network.fidelity import fidelity_override
     from repro.obs import capture
     from repro.obs.export import attribute_op
 
     names = list(scenarios) if scenarios else list(DEFAULT_SCENARIOS)
+    with fidelity_override("packet"):
+        return _collect_packet(names, capture, attribute_op)
+
+
+def _collect_packet(names, capture, attribute_op) -> Dict[str, Any]:
     doc: Dict[str, Any] = {
         "schema": 1,
         "default_tolerance": DEFAULT_TOLERANCE,

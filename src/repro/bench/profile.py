@@ -49,18 +49,25 @@ def measure(fn: Callable[[], Any], label: str = "run") -> Dict[str, Any]:
     simulates — across any number of environments — is accounted.
     """
     events0 = Environment.total_events_processed
+    ff0 = Environment.total_events_fast_forwarded
     sim0 = Environment.total_sim_time
     start = time.perf_counter()
     value = fn()
     wall = time.perf_counter() - start
     events = Environment.total_events_processed - events0
+    events_ff = Environment.total_events_fast_forwarded - ff0
+    # Rates are quoted in packet-equivalent events: segments a flow-fidelity
+    # run fast-forwards analytically count as retired work (in packet mode
+    # events_ff is 0 and this reduces to the plain rate).
+    equivalent = events + events_ff
     report = {
         "label": label,
         "wall_s": wall,
         "events": events,
+        "events_ff": events_ff,
         "sim_s": Environment.total_sim_time - sim0,
-        "events_per_s": events / wall if wall > 0 else 0.0,
-        "ns_per_event": wall / events * 1e9 if events else 0.0,
+        "events_per_s": equivalent / wall if wall > 0 else 0.0,
+        "ns_per_event": wall / equivalent * 1e9 if equivalent else 0.0,
     }
     return {"report": report, "value": value}
 
@@ -282,13 +289,19 @@ def _measure_obs_overhead(name: str, fn, kwargs: Dict[str, Any],
 
 def perf_section(records, wall_s: float) -> Dict[str, Any]:
     """The ``perf`` block of ``BENCH_results.json`` for a finished sweep."""
+    from repro.network.fidelity import default_fidelity
+
     events = sum(r.events for r in records if not r.cached)
+    events_ff = sum(r.events_ff for r in records if not r.cached)
     run_wall = sum(r.wall_s for r in records if not r.cached)
+    equivalent = events + events_ff
     return {
         "wall_s": wall_s,
+        "fidelity": default_fidelity(),
         "events": events,
-        "events_per_s": events / run_wall if run_wall > 0 else 0.0,
-        "ns_per_event": run_wall / events * 1e9 if events else 0.0,
+        "events_ff": events_ff,
+        "events_per_s": equivalent / run_wall if run_wall > 0 else 0.0,
+        "ns_per_event": run_wall / equivalent * 1e9 if equivalent else 0.0,
     }
 
 
@@ -313,9 +326,12 @@ def render_report(report: Dict[str, Any]) -> str:
         + (" (--quick)" if report.get("quick") else "")
         + f": {report['points']} points, {report['events']} events in "
         f"{report['wall_s']:.2f}s wall / {report['sim_s']:.4f}s simulated")
-    lines.append(
-        f"  {report['events_per_s']/1e3:.1f}k events/s, "
-        f"{report['ns_per_event']:.0f} ns/event")
+    rate_line = (f"  {report['events_per_s']/1e3:.1f}k events/s, "
+                 f"{report['ns_per_event']:.0f} ns/event")
+    if report.get("events_ff"):
+        rate_line += (f" (incl. {report['events_ff']} fast-forwarded, "
+                      f"fidelity=flow)")
+    lines.append(rate_line)
     mem = report.get("memory")
     if mem:
         lines.append(f"  tracemalloc peak {mem['peak_bytes']/1e6:.1f} MB "

@@ -73,6 +73,9 @@ class PointResult:
     sim_s: float    # simulated seconds advanced while computing the point
     events: int     # discrete events processed while computing the point
     cached: bool
+    #: events elided by flow-level fast-forward (0 in packet fidelity);
+    #: ``events + events_ff`` is the packet-equivalent work retired.
+    events_ff: int = 0
     key: Optional[str] = None
     #: trace events this point's tracers evicted (ring-buffer truncation).
     #: Measured per run — class-wide ``Tracer.total_dropped`` undercounts in
@@ -89,6 +92,7 @@ def execute_point(point: SweepPoint) -> Dict[str, Any]:
 
     fn = KERNELS[point.kernel]
     events0 = Environment.total_events_processed
+    ff0 = Environment.total_events_fast_forwarded
     sim0 = Environment.total_sim_time
     dropped0 = Tracer.total_dropped
     obs_snapshot = None
@@ -107,6 +111,7 @@ def execute_point(point: SweepPoint) -> Dict[str, Any]:
         "wall_s": time.perf_counter() - start,
         "sim_s": Environment.total_sim_time - sim0,
         "events": Environment.total_events_processed - events0,
+        "events_ff": Environment.total_events_fast_forwarded - ff0,
         "dropped": Tracer.total_dropped - dropped0,
     }
     if obs_snapshot is not None:
@@ -142,6 +147,7 @@ class SweepRunner:
                     wall_s=record.get("wall_s", 0.0),
                     sim_s=record.get("sim_s", 0.0),
                     events=record.get("events", 0),
+                    events_ff=record.get("events_ff", 0),
                     dropped=record.get("dropped", 0),
                     cached=True, key=key,
                 )
@@ -187,7 +193,8 @@ class SweepRunner:
         for rec in self.records:
             art = artifacts.setdefault(rec.point.artifact, {
                 "points": [], "wall_s": 0.0, "sim_s": 0.0,
-                "events": 0, "dropped": 0, "cached_points": 0,
+                "events": 0, "events_ff": 0, "dropped": 0,
+                "cached_points": 0,
             })
             art["points"].append({
                 "kernel": rec.point.kernel,
@@ -196,12 +203,14 @@ class SweepRunner:
                 "wall_s": rec.wall_s,
                 "sim_s": rec.sim_s,
                 "events": rec.events,
+                "events_ff": rec.events_ff,
                 "dropped": rec.dropped,
                 "cached": rec.cached,
             })
             art["wall_s"] += rec.wall_s
             art["sim_s"] += rec.sim_s
             art["events"] += rec.events
+            art["events_ff"] += rec.events_ff
             art["dropped"] += rec.dropped
             art["cached_points"] += int(rec.cached)
         totals = {
@@ -211,6 +220,7 @@ class SweepRunner:
             "wall_s": sum(a["wall_s"] for a in artifacts.values()),
             "sim_s": sum(a["sim_s"] for a in artifacts.values()),
             "events": sum(a["events"] for a in artifacts.values()),
+            "events_ff": sum(a["events_ff"] for a in artifacts.values()),
             "dropped": sum(a["dropped"] for a in artifacts.values()),
         }
         return {

@@ -1,0 +1,196 @@
+"""Fidelity validation harness (``bench validate-fidelity``).
+
+Flow-level fast-forward (:mod:`repro.network.fidelity`) is only admissible
+if it is *invisible* in the results: every evaluation artifact must
+reproduce its packet-fidelity numbers within a tight per-artifact
+tolerance.  This module replays artifacts twice — once per fidelity, cold
+(no cache), sequential — and recursively diffs the two result trees.
+
+Tolerances are per artifact and deliberately asymmetric:
+
+- artifacts with no multi-segment network traffic (the tables, fig08's
+  NOP invocations) must be **bit-identical** — a nonzero deviation there
+  means the flow machinery engaged where it has no business engaging;
+- wire-bound artifacts allow a small relative tolerance covering the two
+  documented approximations (bulk retransmission-buffer charging on TCP,
+  collapsed cut-through landings on RDMA WRITE bursts).
+
+Exit status is nonzero on any violation, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import units
+from repro.bench.cache import jsonable
+from repro.network.fidelity import fidelity_override
+from repro.sim.kernel import Environment
+
+#: maximum allowed relative deviation, flow vs packet, per artifact.
+#: 0.0 means bit-identical.
+TOLERANCES: Dict[str, float] = {
+    "fig07": 1e-3,   # p2p: idle paths exact; the n_msgs=4 contended point
+                     # carries a one-sub-burst fallback-boundary residue
+    "fig08": 0.0,    # NOP invocations never segment
+    "fig09": 2e-3,   # bcast breakdown (PCIe legs exact, collective approx)
+    "fig10": 5e-3,   # F2F collectives (RDMA landing collapse)
+    "fig11": 1e-2,   # H2H collectives: PCIe-staged chunks add a handshake
+                     # per chunk, each worth one control-slotting residue
+    "fig12": 5e-3,   # reduce scalability
+    "fig13": 1e-2,   # TCP: bulk retx-buffer charging is the loosest model
+    "fig16": 5e-3,   # vecmat: analytic compute + reduce
+    "fig17": 5e-3,   # DLRM pipeline
+    "tab01": 0.0,    # pure selector table
+    "tab02": 0.0,    # static config table
+    "tab03": 0.0,    # static resource table
+}
+
+#: ``--quick`` overrides: the size/scale extremes only, sized for a CI
+#: smoke job (small = latency-dominated, large = bandwidth-dominated).
+QUICK_KWARGS: Dict[str, Dict[str, Any]] = {
+    "fig07": {"sizes": [64 * units.KIB, 256 * units.MIB]},
+    "fig09": {"sizes": [4 * units.KIB, 64 * units.MIB]},
+    "fig10": {"sizes": [16 * units.KIB, 4 * units.MIB]},
+    "fig11": {"sizes": [16 * units.KIB, 4 * units.MIB]},
+    "fig12": {"rank_range": [2, 8]},
+    "fig13": {"sizes": [16 * units.KIB, 16 * units.MIB]},
+    "fig16": {"sizes": [4096], "rank_counts": [2, 8]},
+    "fig17": {"n_inferences": 8},
+}
+
+
+def artifact_functions() -> Dict[str, Callable]:
+    """Every artifact, including the tables (superset of the profiler's)."""
+    from repro.bench import harness
+    from repro.bench.profile import _artifact_functions
+
+    functions = dict(_artifact_functions())
+    functions["tab01"] = harness.run_tab01_algorithm_table
+    functions["tab02"] = harness.run_tab02_dlrm_config
+    functions["tab03"] = harness.run_tab03_resources
+    return functions
+
+
+def _compare(a: Any, b: Any, rtol: float, path: str,
+             violations: List[str], stats: Dict[str, float]) -> None:
+    """Recursive structural diff; numeric leaves compare relatively."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        if set(a) != set(b):
+            violations.append(
+                f"{path}: key mismatch {sorted(set(a) ^ set(b))}")
+            return
+        for key in a:
+            _compare(a[key], b[key], rtol, f"{path}.{key}",
+                     violations, stats)
+        return
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            violations.append(f"{path}: length {len(a)} != {len(b)}")
+            return
+        for i, (av, bv) in enumerate(zip(a, b)):
+            _compare(av, bv, rtol, f"{path}[{i}]", violations, stats)
+        return
+    # bool is an int subclass: test it before the numeric branch so
+    # correctness flags never pass on mere closeness.
+    if isinstance(a, bool) or isinstance(b, bool):
+        if a is not b:
+            violations.append(f"{path}: {a!r} != {b!r}")
+        return
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        stats["leaves"] += 1
+        scale = max(abs(a), abs(b))
+        if scale < 1e-12:
+            return
+        rel = abs(a - b) / scale
+        if rel > stats["max_rel"]:
+            stats["max_rel"] = rel
+            stats["max_rel_path"] = path
+        if rel > rtol:
+            violations.append(
+                f"{path}: packet={a!r} flow={b!r} rel={rel:.2e} "
+                f"(tol {rtol:.0e})")
+        return
+    if a != b:
+        violations.append(f"{path}: {a!r} != {b!r}")
+
+
+def _run_fidelity(fn: Callable, kwargs: Dict[str, Any],
+                  fidelity: str) -> Tuple[Any, int, int]:
+    """One cold, sequential artifact run at *fidelity*."""
+    from repro.bench.runner import SweepRunner
+
+    with fidelity_override(fidelity):
+        runner = SweepRunner(jobs=1, cache=None)
+        events0 = Environment.total_events_processed
+        ff0 = Environment.total_events_fast_forwarded
+        value = fn(runner=runner, **kwargs)
+    return (jsonable(value),
+            Environment.total_events_processed - events0,
+            Environment.total_events_fast_forwarded - ff0)
+
+
+def validate_artifact(name: str, quick: bool = False) -> Dict[str, Any]:
+    """Replay *name* at both fidelities and diff the result trees."""
+    functions = artifact_functions()
+    if name not in functions:
+        raise KeyError(
+            f"unknown artifact {name!r}; validatable: "
+            f"{', '.join(sorted(functions))}")
+    rtol = TOLERANCES[name]
+    kwargs = dict(QUICK_KWARGS.get(name, {})) if quick else {}
+    packet, events_packet, _ = _run_fidelity(functions[name], kwargs,
+                                             "packet")
+    flow, events_flow, ff_flow = _run_fidelity(functions[name], kwargs,
+                                               "flow")
+    violations: List[str] = []
+    stats: Dict[str, Any] = {"leaves": 0, "max_rel": 0.0,
+                             "max_rel_path": ""}
+    _compare(packet, flow, rtol, name, violations, stats)
+    return {
+        "artifact": name,
+        "quick": quick,
+        "tolerance": rtol,
+        "leaves": stats["leaves"],
+        "max_rel": stats["max_rel"],
+        "max_rel_path": stats["max_rel_path"],
+        "events_packet": events_packet,
+        "events_flow": events_flow,
+        "events_fast_forwarded": ff_flow,
+        "violations": violations,
+        "ok": not violations,
+    }
+
+
+def run_validation(names: Optional[Sequence[str]] = None,
+                   quick: bool = False) -> List[Dict[str, Any]]:
+    """Validate *names* (default: every artifact) in sorted order."""
+    functions = artifact_functions()
+    targets = sorted(names) if names else sorted(functions)
+    unknown = [n for n in targets if n not in functions]
+    if unknown:
+        raise KeyError(
+            f"unknown artifacts: {', '.join(unknown)}; validatable: "
+            f"{', '.join(sorted(functions))}")
+    return [validate_artifact(name, quick=quick) for name in targets]
+
+
+def render_validation(reports: List[Dict[str, Any]]) -> str:
+    """Fixed-width summary table plus any violation details."""
+    lines = [f"{'artifact':<9} {'tol':>7} {'max_rel':>10} {'leaves':>7} "
+             f"{'ev_packet':>10} {'ev_flow':>9} {'ff':>9}  verdict"]
+    lines.append("-" * len(lines[0]))
+    for rep in reports:
+        verdict = "ok" if rep["ok"] else f"FAIL ({len(rep['violations'])})"
+        lines.append(
+            f"{rep['artifact']:<9} {rep['tolerance']:>7.0e} "
+            f"{rep['max_rel']:>10.2e} {rep['leaves']:>7} "
+            f"{rep['events_packet']:>10} {rep['events_flow']:>9} "
+            f"{rep['events_fast_forwarded']:>9}  {verdict}")
+    for rep in reports:
+        for violation in rep["violations"][:20]:
+            lines.append(f"  {violation}")
+        extra = len(rep["violations"]) - 20
+        if extra > 0:
+            lines.append(f"  ... and {extra} more in {rep['artifact']}")
+    return "\n".join(lines)

@@ -12,7 +12,7 @@ from typing import Callable, Optional
 from repro.errors import NetworkError
 from repro.sim import Environment
 from repro.network.link import Link
-from repro.network.packet import Segment
+from repro.network.packet import Burst, Segment
 
 
 class Endpoint:
@@ -22,8 +22,12 @@ class Endpoint:
         self.env = env
         self.address = address
         self.name = name or f"ep{address}"
+        #: network fidelity level this port runs at; set by the owning
+        #: topology ("packet" unless the topology was built in flow mode).
+        self.fidelity = "packet"
         self.uplink: Optional[Link] = None
         self._rx_handler: Optional[Callable[[Segment], None]] = None
+        self._rx_burst_handler: Optional[Callable[[Burst], None]] = None
         self.segments_sent = 0
         self.segments_received = 0
 
@@ -60,6 +64,49 @@ class Endpoint:
             )
         self.segments_sent += 1
         return self.uplink.send(segment)
+
+    # -- flow-fidelity burst path -----------------------------------------
+
+    def on_receive_burst(self, handler: Callable[[Burst], None]) -> None:
+        """Install the protocol engine's fast-forwarded-burst handler."""
+        if self._rx_burst_handler is not None:
+            raise NetworkError(
+                f"endpoint {self.name!r} already has a burst handler"
+            )
+        self._rx_burst_handler = handler
+
+    def deliver_burst(self, burst: Burst) -> None:
+        """Sink for fast-forwarded bursts; invoked at last-segment arrival."""
+        if self._rx_burst_handler is None:
+            raise NetworkError(
+                f"endpoint {self.name!r} received a burst but has no "
+                "burst handler"
+            )
+        self.segments_received += burst.n_segments
+        self._rx_burst_handler(burst)
+
+    def send_burst(self, burst: Burst) -> Optional[float]:
+        """Fast-forward a segment train through the uplink.
+
+        Returns the handoff time of the last segment (what the sender paces
+        to), or ``None`` when the uplink cannot take the analytic path right
+        now — a serializer busy with other traffic or missing burst wiring —
+        in which case the caller must fall back to the per-segment transmit
+        loop.  A serializer still draining an earlier sub-burst of the same
+        message continues analytically.
+        """
+        if self.uplink is None:
+            raise NetworkError(f"endpoint {self.name!r} has no uplink")
+        if burst.src != self.address:
+            raise NetworkError(
+                f"endpoint {self.name!r} (addr {self.address}) asked to send "
+                f"a burst with src={burst.src}"
+            )
+        handoff = self.uplink.try_send_burst(burst)
+        if handoff is None:
+            return None
+        self.segments_sent += burst.n_segments
+        return handoff
 
     def __repr__(self) -> str:
         return f"<Endpoint {self.name!r} addr={self.address}>"

@@ -1,0 +1,73 @@
+"""Fabric fidelity switches.
+
+The simulator supports two network fidelity levels, selected per topology:
+
+- ``"packet"`` (default) — every 32 KiB segment is an individual wire event
+  on every hop.  Bit-identical to the calibrated baseline; always used for
+  regression baselines.
+- ``"flow"`` — a multi-segment message on an *uncongested* path is modeled
+  as one analytic serialization+propagation interval per hop (a
+  :class:`~repro.network.packet.Burst`), falling back to packet-level
+  per-segment behavior automatically wherever a link is busy.  Validated
+  against packet mode per artifact by ``python -m repro.bench
+  validate-fidelity``.
+
+The process-wide default comes from the ``REPRO_FIDELITY`` environment
+variable so that benchmark pool workers and subprocesses inherit the mode
+without plumbing it through every constructor; topologies accept an explicit
+``fidelity=`` override.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.errors import ConfigurationError
+
+#: recognized fidelity levels
+FIDELITIES = ("packet", "flow")
+
+ENV_VAR = "REPRO_FIDELITY"
+
+
+def default_fidelity() -> str:
+    """The process-wide fidelity: ``$REPRO_FIDELITY`` or ``"packet"``."""
+    value = os.environ.get(ENV_VAR, "").strip().lower()
+    if not value:
+        return "packet"
+    if value not in FIDELITIES:
+        raise ConfigurationError(
+            f"{ENV_VAR}={value!r} is not a fidelity level; "
+            f"choose one of {', '.join(FIDELITIES)}"
+        )
+    return value
+
+
+def resolve_fidelity(fidelity: Optional[str]) -> str:
+    """Validate an explicit *fidelity*, or fall back to the default."""
+    if fidelity is None:
+        return default_fidelity()
+    if fidelity not in FIDELITIES:
+        raise ConfigurationError(
+            f"fidelity {fidelity!r} is not a fidelity level; "
+            f"choose one of {', '.join(FIDELITIES)}"
+        )
+    return fidelity
+
+
+@contextmanager
+def fidelity_override(fidelity: str) -> Iterator[str]:
+    """Temporarily force the process-wide default (used by the validation
+    harness to replay one artifact in both modes)."""
+    fidelity = resolve_fidelity(fidelity)
+    previous = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = fidelity
+    try:
+        yield fidelity
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous

@@ -72,3 +72,116 @@ class Segment:
             f"<Segment {self.protocol} {self.src}->{self.dst} "
             f"{self.payload_bytes}B seq={self.seqno}>"
         )
+
+
+def _wire_bytes(payload: int, mtu: int, header_bytes: int) -> int:
+    frames = -(-payload // mtu) if payload else 1
+    return payload + frames * header_bytes
+
+
+@dataclass(slots=True)
+class Burst:
+    """A fast-forwarded train of back-to-back segments of one message.
+
+    Under ``fidelity='flow'`` an uncongested multi-segment message crosses
+    each hop as one Burst instead of ``n_segments`` individual
+    :class:`Segment` events.  The train is fully described by three absolute
+    timestamps, updated hop by hop:
+
+    - ``head_at`` — time the *tail* of segment 0 is available at the next
+      hop's input;
+    - ``spacing`` — uniform tail-to-tail spacing of segments ``0..n-2``
+      (the train leaves each serializer evenly spaced at the slowest
+      upstream rate seen so far);
+    - ``last_at`` — tail availability of the final (possibly short) segment.
+
+    Any hop whose serializer is busy at ``head_at`` *expands* the burst back
+    into its constituent segments at their exact availability times, so
+    congested paths keep full packet-level fidelity from that hop on.
+
+    Long messages travel as a *train of bursts* (the transmit loop re-checks
+    for contention between sub-bursts); ``seq_base`` is the message-level
+    seqno of this burst's first segment and ``last_bytes`` may equal
+    ``segment_bytes`` for every sub-burst except the message's final one.
+    """
+
+    src: int
+    dst: int
+    payload_bytes: int
+    n_segments: int
+    segment_bytes: int  # payload of every full chunk
+    last_bytes: int     # payload of the final chunk (<= segment_bytes)
+    protocol: str = "raw"
+    meta: Any = None
+    data: Any = None
+    mtu: int = DEFAULT_MTU
+    header_bytes: int = ETHERNET_HEADER_BYTES
+    seq_base: int = 0
+    #: symmetric concurrent bulk messages sharing the first hop (including
+    #: this one).  ``share > 1`` asks the first hop to carry the train as a
+    #: *convoy* member — round-robin interleaved with its siblings at
+    #: ``share`` times the per-segment spacing, which is exactly how packet
+    #: FIFO schedules simultaneous equal senders pacing to egress.
+    share: int = 1
+    #: convoy identity token, stamped by the first hop at formation and
+    #: carried downstream so later hops can recognize sibling trains (their
+    #: slot grids are disjoint by construction and may share a serializer).
+    convoy: Any = None
+    # -- timing state (absolute simulation times), updated per hop
+    head_at: float = 0.0
+    spacing: float = 0.0
+    last_at: float = 0.0
+    #: wire occupancy of one full chunk / the last chunk / the train; derived.
+    wire_full: int = field(init=False, compare=False, default=0)
+    wire_last: int = field(init=False, compare=False, default=0)
+    wire_total: int = field(init=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.n_segments < 2:
+            raise ValueError(
+                f"a burst needs >= 2 segments, got {self.n_segments}"
+            )
+        if not 0 < self.last_bytes <= self.segment_bytes:
+            raise ValueError(
+                f"last chunk of {self.last_bytes}B outside "
+                f"(0, {self.segment_bytes}]"
+            )
+        self.wire_full = _wire_bytes(self.segment_bytes, self.mtu,
+                                     self.header_bytes)
+        self.wire_last = _wire_bytes(self.last_bytes, self.mtu,
+                                     self.header_bytes)
+        self.wire_total = ((self.n_segments - 1) * self.wire_full
+                           + self.wire_last)
+
+    def iter_segments(self):
+        """``(availability_time, Segment)`` pairs for packet-level expansion.
+
+        Times are the absolute instants each segment's tail becomes
+        available at the expanding hop's input; the constructed segments are
+        exactly what the packet-level transmit loop would have produced.
+        """
+        head = self.head_at
+        spacing = self.spacing
+        n = self.n_segments
+        base = self.seq_base
+        for i in range(n - 1):
+            yield head + i * spacing, Segment(
+                src=self.src, dst=self.dst,
+                payload_bytes=self.segment_bytes,
+                protocol=self.protocol, meta=self.meta,
+                data=self.data if i == 0 else None,
+                mtu=self.mtu, seqno=base + i,
+                header_bytes=self.header_bytes,
+            )
+        yield self.last_at, Segment(
+            src=self.src, dst=self.dst, payload_bytes=self.last_bytes,
+            protocol=self.protocol, meta=self.meta, data=None,
+            mtu=self.mtu, seqno=base + n - 1,
+            header_bytes=self.header_bytes,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Burst {self.protocol} {self.src}->{self.dst} "
+            f"{self.payload_bytes}B x{self.n_segments}>"
+        )

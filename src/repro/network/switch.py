@@ -13,7 +13,7 @@ from typing import Dict
 from repro.errors import NetworkError
 from repro.sim import Environment
 from repro.network.link import Link
-from repro.network.packet import Segment
+from repro.network.packet import Burst, Segment
 from repro import units
 
 
@@ -65,6 +65,35 @@ class Switch:
             )
         self.segments_forwarded += 1
         self.env.schedule_callback(self.forwarding_latency, egress.send, segment)
+
+    def ingress_burst(self, burst: Burst) -> None:
+        """Forward a fast-forwarded train (flow fidelity) in one step.
+
+        Invoked when the burst's head segment arrives; routing uses the same
+        (src, dst) flow hash as per-segment forwarding, so ECMP placement is
+        identical.  One forwarding callback replaces ``n_segments`` of them;
+        the egress link decides whether the train stays analytic or expands.
+        """
+        egress = self._egress.get(burst.dst)
+        if egress is None and self._default_routes:
+            flow = hash((burst.src, burst.dst))
+            egress = self._default_routes[flow % len(self._default_routes)]
+        if egress is None:
+            raise NetworkError(
+                f"switch {self.name!r}: no route to address {burst.dst}"
+            )
+        self.segments_forwarded += burst.n_segments
+        Environment.total_events_fast_forwarded += burst.n_segments - 1
+        self.env.schedule_callback(
+            self.forwarding_latency, self._forward_burst, egress, burst)
+
+    def _forward_burst(self, egress: Link, burst: Burst) -> None:
+        # Runs at head arrival + forwarding latency: shift every segment's
+        # availability by the same fixed delay and hand off.
+        latency = self.forwarding_latency
+        burst.head_at += latency
+        burst.last_at += latency
+        egress.send_burst(burst)
 
     def __repr__(self) -> str:
         return f"<Switch {self.name!r} ports={self.port_count}>"

@@ -8,11 +8,12 @@ view.  :class:`StarTopology` builds that: N endpoints, one switch, duplex
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.errors import NetworkError
 from repro.sim import Environment
 from repro.network.endpoint import Endpoint
+from repro.network.fidelity import resolve_fidelity
 from repro.network.link import Link
 from repro.network.switch import Switch
 from repro import units
@@ -25,6 +26,8 @@ class StarTopology:
         env: simulation environment.
         link_rate: bytes/second per direction (default 100 Gb/s).
         link_latency: one-way cable+PHY latency.
+        fidelity: ``"packet"`` or ``"flow"``; ``None`` reads the
+            process-wide default (``$REPRO_FIDELITY``, usually packet).
     """
 
     def __init__(
@@ -33,11 +36,13 @@ class StarTopology:
         link_rate: float = units.gbps(100),
         link_latency: float = units.ns(500),
         name: str = "fabric",
+        fidelity: Optional[str] = None,
     ):
         self.env = env
         self.link_rate = link_rate
         self.link_latency = link_latency
         self.name = name
+        self.fidelity = resolve_fidelity(fidelity)
         self.switch = Switch(env, name=f"{name}.sw")
         self._endpoints: Dict[int, Endpoint] = {}
 
@@ -64,6 +69,11 @@ class StarTopology:
         )
         uplink.connect(self.switch.ingress)
         downlink.connect(ep.deliver)
+        # Burst wiring mirrors the segment wiring; bursts only flow when a
+        # protocol engine on a flow-fidelity endpoint creates them.
+        uplink.connect_burst(self.switch.ingress_burst)
+        downlink.connect_burst(ep.deliver_burst, at_tail=True)
+        ep.fidelity = self.fidelity
         ep.attach_uplink(uplink)
         self.switch.attach(address, downlink)
         self._endpoints[address] = ep
@@ -108,6 +118,7 @@ class LeafSpineTopology:
         link_rate: float = units.gbps(100),
         link_latency: float = units.ns(500),
         name: str = "clos",
+        fidelity: Optional[str] = None,
     ):
         if ports_per_leaf < 1 or n_spines < 1:
             raise NetworkError("need at least one leaf port and one spine")
@@ -117,6 +128,7 @@ class LeafSpineTopology:
         self.link_rate = link_rate
         self.link_latency = link_latency
         self.name = name
+        self.fidelity = resolve_fidelity(fidelity)
         self._endpoints: Dict[int, Endpoint] = {}
         self._leaves: List[Switch] = []
         self._spines: List[Switch] = [
@@ -149,6 +161,8 @@ class LeafSpineTopology:
                 down = self._link(f"{spine.name}.down{idx}")
                 up.connect(spine.ingress)
                 down.connect(leaf.ingress)
+                up.connect_burst(spine.ingress_burst)
+                down.connect_burst(leaf.ingress_burst)
                 leaf.add_default_route(up)
                 # The spine routes every address of this leaf down to it.
                 for port in range(self.ports_per_leaf):
@@ -166,6 +180,9 @@ class LeafSpineTopology:
         downlink = self._link(f"{ep.name}.down")
         uplink.connect(leaf.ingress)
         downlink.connect(ep.deliver)
+        uplink.connect_burst(leaf.ingress_burst)
+        downlink.connect_burst(ep.deliver_burst, at_tail=True)
+        ep.fidelity = self.fidelity
         ep.attach_uplink(uplink)
         leaf.attach(address, downlink)
         self._endpoints[address] = ep

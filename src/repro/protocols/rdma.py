@@ -50,6 +50,10 @@ class RdmaPoe(BasePoe):
     poe_latency = units.ns(300)
     #: QP-level credit exhaustion is the RDMA flow-control stall
     flow_control_cause = "credit_stall"
+    #: per elided segment: one credit-take yield on the transmit side; one
+    #: 16-byte credit-return segment (three wire hops) on the receive side
+    _FLOW_TX_ELIDED_PER_SEGMENT = 1
+    _FLOW_RX_ELIDED_PER_SEGMENT = 3
 
     DEFAULT_CREDIT_BYTES = 1 * units.MIB
 
@@ -163,6 +167,29 @@ class RdmaPoe(BasePoe):
         qp = self._by_remote[header.dst_addr]
         if chunk > 0:
             yield qp.credits.take(chunk)
+
+    def _flow_tx_ready(self, header: MessageHeader) -> bool:
+        # Credits are transparent only when untouched: the bucket is full,
+        # nobody queues on it, and its capacity clears the bandwidth-delay
+        # product so per-segment accounting could never have stalled.
+        qp = self._by_remote.get(header.dst_addr)
+        if qp is None:
+            return False
+        credits = qp.credits
+        return (not credits._waiters
+                and credits._available == credits.capacity
+                and credits.capacity >= self._flow_window_floor())
+
+    def _flow_rx_effects(self, burst) -> None:
+        # Cut-through landings: packet mode writes every WRITE segment to
+        # memory as it arrives, and the rendezvous drain waits on the last
+        # of them.  The burst issues that completion-gating last landing;
+        # the earlier overlapped writes are elided (they finish long before
+        # the train does on any path idle enough to admit a burst).
+        header: MessageHeader = burst.meta
+        if (header.kind == RdmaOpcode.WRITE.value
+                and self._segment_writer is not None):
+            self._segment_writer(header, burst.last_bytes)
 
     def _on_segment_delivered(self, segment) -> None:
         if segment.payload_bytes == 0:

@@ -45,6 +45,10 @@ class TcpPoe(BasePoe):
     #: window stalls exist because every segment is mirrored into the
     #: retransmission buffer; label them as that back-pressure
     flow_control_cause = "retx_backpressure"
+    #: per elided segment: a window-take yield and a retx-write event on the
+    #: transmit side; one 58-byte ACK segment (three wire hops) back
+    _FLOW_TX_ELIDED_PER_SEGMENT = 2
+    _FLOW_RX_ELIDED_PER_SEGMENT = 3
 
     MAX_SESSIONS = 1000
     DEFAULT_WINDOW_BYTES = 256 * units.KIB
@@ -148,6 +152,27 @@ class TcpPoe(BasePoe):
         # FPGA memory; that write shares the memory port with everyone else.
         if self.retx_memory is not None and segment.payload_bytes > 0:
             yield self.retx_memory.write(segment.payload_bytes)
+
+    def _flow_tx_ready(self, header: MessageHeader) -> bool:
+        # The window is transparent only when untouched and large enough
+        # that per-segment accounting could never have stalled the train.
+        session = self._by_remote[header.dst_addr]
+        window = session.window
+        return (not window._waiters
+                and window._available == window.capacity
+                and window.capacity >= self._flow_window_floor())
+
+    def _flow_tx_post(self, header: MessageHeader, burst):
+        # Retx mirroring in bulk: the head of the train is charged to the
+        # memory port up front (it overlaps serialization, as the
+        # per-segment writes did), while the last chunk's write is what the
+        # packet-level loop finishes on — local completion waits for it.
+        if self.retx_memory is None:
+            return None
+        head_bytes = burst.payload_bytes - burst.last_bytes
+        if head_bytes > 0:
+            self.retx_memory.write(head_bytes)
+        return self.retx_memory.write(burst.last_bytes)
 
     # -- receive path overrides ----------------------------------------------
 

@@ -43,3 +43,13 @@ class UdpPoe(BasePoe):
             self._rx_state.pop((header.src_addr, header.msg_id), None)
             return
         super()._on_segment(segment)
+
+    def _on_burst(self, burst) -> None:
+        if self._drop_filter is not None:
+            # Failure injection must still see individual segments: replay
+            # the train through the per-segment path so the filter can drop
+            # fragments (losing one loses the datagram, as in packet mode).
+            for _avail, segment in burst.iter_segments():
+                self._on_segment(segment)
+            return
+        super()._on_burst(burst)

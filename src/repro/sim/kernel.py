@@ -34,6 +34,13 @@ observable ordering:
   zero event allocations for a plain sleep, which dominates protocol pacing
   loops.  Interrupts remain safe: a monotonically increasing sleep token
   invalidates stale wakeups.
+- Zero-delay scheduling (event triggers, process terminations, ``yield
+  0.0``, immediate callbacks) bypasses the heap entirely: entries land in a
+  FIFO *now-bucket* drained before time advances.  Same-timestamp runs —
+  the dominant traffic of tightly chained protocol events — cost a deque
+  append/popleft instead of two O(log n) heap operations.  Bucket and heap
+  entries share one sequence counter and the dispatch loop merges them by
+  sequence at equal timestamps, so observable ordering is identical.
 
 ``Environment.run`` inlines the event dispatch loop (rather than calling
 :meth:`Environment.step` per event) and flushes the process-wide counters
@@ -44,6 +51,7 @@ raises.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from heapq import heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
@@ -134,7 +142,10 @@ class Event:
             self._scheduled = True
             env = self.env
             env._seq += 1
-            heappush(env._heap, (env._now + delay, env._seq, self))
+            if delay == 0.0:
+                env._bucket.append((env._seq, self))
+            else:
+                heappush(env._heap, (env._now + delay, env._seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -149,7 +160,10 @@ class Event:
             self._scheduled = True
             env = self.env
             env._seq += 1
-            heappush(env._heap, (env._now + delay, env._seq, self))
+            if delay == 0.0:
+                env._bucket.append((env._seq, self))
+            else:
+                heappush(env._heap, (env._now + delay, env._seq, self))
         return self
 
     def defuse(self) -> None:
@@ -210,7 +224,10 @@ class Timeout(Event):
         self._defused = False
         self.delay = delay
         env._seq += 1
-        heappush(env._heap, (env._now + delay, env._seq, self))
+        if delay == 0.0:
+            env._bucket.append((env._seq, self))
+        else:
+            heappush(env._heap, (env._now + delay, env._seq, self))
 
 
 class Process(Event):
@@ -243,7 +260,7 @@ class Process(Event):
         # the sequence slot the old init-Event used, so start order at equal
         # timestamps is unchanged.
         env._seq += 1
-        heappush(env._heap, (env._now, env._seq, (self._bootstrap, ())))
+        env._bucket.append((env._seq, (self._bootstrap, ())))
 
     @property
     def is_alive(self) -> bool:
@@ -321,8 +338,12 @@ class Process(Event):
                 self._sleep_token += 1
                 self._target = _SLEEPING
                 env._seq += 1
-                heappush(env._heap, (env._now + next_event, env._seq,
-                                     (self._wake, (self._sleep_token,))))
+                if next_event == 0.0:
+                    env._bucket.append(
+                        (env._seq, (self._wake, (self._sleep_token,))))
+                else:
+                    heappush(env._heap, (env._now + next_event, env._seq,
+                                         (self._wake, (self._sleep_token,))))
                 return
             if not isinstance(next_event, Event):
                 raise SimulationError(
@@ -427,10 +448,20 @@ class Environment:
     #: each, so the metric is comparable across kernel versions.
     total_events_processed: int = 0
     total_sim_time: float = 0.0
+    #: events the flow-level fidelity mode modeled analytically instead of
+    #: dispatching (elided per-segment deliveries, pacing sleeps, credit
+    #: returns...).  ``processed + fast_forwarded`` is the packet-equivalent
+    #: event count, which is what the perf metrics report so throughput
+    #: numbers stay comparable across fidelity modes.
+    total_events_fast_forwarded: int = 0
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._heap: List[tuple] = []
+        # FIFO of (seq, item) entries scheduled at the *current* time; always
+        # drained before the clock advances.  Items are the same polymorphic
+        # (fn, args) tuples / Event objects the heap holds.
+        self._bucket: deque = deque()
         self._seq = 0
 
     @property
@@ -443,18 +474,24 @@ class Environment:
             return
         event._scheduled = True
         self._seq += 1
-        heappush(self._heap, (self._now + delay, self._seq, event))
+        if delay == 0.0:
+            self._bucket.append((self._seq, event))
+        else:
+            heappush(self._heap, (self._now + delay, self._seq, event))
 
     def schedule_callback(self, delay: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after *delay* (for non-process components).
 
         This is the cheapest way to get control at a future time: no
-        :class:`Event` is constructed, only a tuple on the heap.  The
-        callback cannot be waited on; components that need a waitable handle
-        should use :meth:`timeout`.
+        :class:`Event` is constructed, only a tuple on the heap (or, for a
+        zero delay, in the now-bucket).  The callback cannot be waited on;
+        components that need a waitable handle should use :meth:`timeout`.
         """
         self._seq += 1
-        heappush(self._heap, (self._now + delay, self._seq, (fn, args)))
+        if delay == 0.0:
+            self._bucket.append((self._seq, (fn, args)))
+        else:
+            heappush(self._heap, (self._now + delay, self._seq, (fn, args)))
 
     def schedule_callback_at(self, time: float, fn: Callable,
                              *args: Any) -> None:
@@ -469,7 +506,10 @@ class Environment:
                 f"cannot schedule at {time} before current time {self._now}"
             )
         self._seq += 1
-        heappush(self._heap, (time, self._seq, (fn, args)))
+        if time == self._now:
+            self._bucket.append((self._seq, (fn, args)))
+        else:
+            heappush(self._heap, (time, self._seq, (fn, args)))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that succeeds after *delay* seconds."""
@@ -488,14 +528,23 @@ class Environment:
         return Process(self, generator, name=name)
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` when the heap is empty."""
+        """Time of the next scheduled event, or ``inf`` when none is pending."""
+        if self._bucket:
+            return self._now
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
         """Process the single next event."""
-        if not self._heap:
+        bucket = self._bucket
+        heap = self._heap
+        if bucket and (not heap or heap[0][0] > self._now
+                       or heap[0][1] > bucket[0][0]):
+            _seq, item = bucket.popleft()
+            when = self._now
+        elif heap:
+            when, _seq, item = heapq.heappop(heap)
+        else:
             raise SimulationError("no more events")
-        when, _seq, item = heapq.heappop(self._heap)
         Environment.total_events_processed += 1
         if when > self._now:
             Environment.total_sim_time += when - self._now
@@ -540,21 +589,33 @@ class Environment:
 
         # Inlined dispatch loop (same semantics as step()); counters are
         # accumulated locally and flushed once, including on exceptions.
+        # The now-bucket is merged with the heap by sequence number: bucket
+        # entries always live at the current timestamp, so they run before
+        # any strictly-later heap entry and interleave with same-time heap
+        # entries in scheduling order.
         heap = self._heap
+        bucket = self._bucket
         pop = heapq.heappop
+        popleft = bucket.popleft
         no_cb = _NO_CALLBACKS
         events_n = 0
         sim_acc = 0.0
         try:
-            while heap:
+            while heap or bucket:
                 if stop_event is not None:
                     if stop_event.callbacks is None:
                         break
-                elif stop_time is not None and heap[0][0] > stop_time:
+                elif (stop_time is not None and not bucket
+                        and heap[0][0] > stop_time):
                     break
-                when, _seq, item = pop(heap)
-                events_n += 1
                 prev = self._now
+                if bucket and (not heap or heap[0][0] > prev
+                               or heap[0][1] > bucket[0][0]):
+                    _seq, item = popleft()
+                    when = prev
+                else:
+                    when, _seq, item = pop(heap)
+                events_n += 1
                 if when > prev:
                     sim_acc += when - prev
                 self._now = when

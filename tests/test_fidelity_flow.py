@@ -1,0 +1,373 @@
+"""Flow-level fast-forward fidelity: correctness against packet mode.
+
+``fidelity="flow"`` replaces per-segment wire events on uncongested paths
+with analytic :class:`~repro.network.packet.Burst` trains.  The contract is
+that it stays *invisible* in results: packet mode is the calibrated truth,
+and every deviation here must be either exactly zero (idle point-to-point
+paths) or bounded by the documented approximations (sub-burst fallback
+boundaries, control-segment slotting).  The full per-artifact check is
+``python -m repro.bench validate-fidelity``; these tests pin the mechanism
+at unit and kernel level so regressions localize.
+"""
+
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro import units
+from repro.bench.harness import (
+    _accl_p2p_time,
+    _mpi_p2p_time,
+    accl_collective_time,
+)
+from repro.errors import ConfigurationError
+from repro.network import Link, Segment
+from repro.network.fidelity import default_fidelity, fidelity_override
+from repro.network.packet import Burst
+from repro.obs.spans import SpanTracer
+from repro.sim import Environment
+
+
+def _rel(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(a), abs(b), 1e-300)
+
+
+class TestDefaults:
+    def test_default_fidelity_is_packet(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FIDELITY", raising=False)
+        assert default_fidelity() == "packet"
+
+    def test_override_restores_previous(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIDELITY", "packet")
+        with fidelity_override("flow"):
+            assert default_fidelity() == "flow"
+        assert default_fidelity() == "packet"
+
+    def test_unknown_fidelity_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIDELITY", "cycle")
+        with pytest.raises(ConfigurationError):
+            default_fidelity()
+
+    def test_packet_mode_never_fast_forwards(self):
+        with fidelity_override("packet"):
+            before = Environment.total_events_fast_forwarded
+            elapsed = _mpi_p2p_time(units.MIB, 1)
+            assert elapsed > 0.0
+            assert Environment.total_events_fast_forwarded == before
+
+
+class TestKernelEquivalence:
+    """Flow mode must reproduce packet-mode timings."""
+
+    @pytest.mark.parametrize("size", [16 * units.MIB, 64 * units.MIB])
+    def test_accl_p2p_exact(self, size):
+        with fidelity_override("packet"):
+            packet = _accl_p2p_time(size, n_msgs=1, location="device")
+        with fidelity_override("flow"):
+            ff0 = Environment.total_events_fast_forwarded
+            flow = _accl_p2p_time(size, n_msgs=1, location="device")
+            forwarded = Environment.total_events_fast_forwarded - ff0
+        # Idle p2p path: the closed form is exact (float noise only).
+        assert _rel(packet, flow) < 1e-9
+        assert forwarded > 0
+
+    @pytest.mark.parametrize("n_msgs", [2, 4])
+    def test_accl_concurrent_convoy(self, n_msgs):
+        # Concurrent equal senders interleave round-robin on the uplink;
+        # the convoy grid reproduces that to within a constant ~10 ns
+        # end effect (the completion notification queues behind the whole
+        # convoy tail instead of slotting right after its own message).
+        size = 16 * units.MIB
+        with fidelity_override("packet"):
+            packet = _accl_p2p_time(size, n_msgs=n_msgs, location="device")
+        with fidelity_override("flow"):
+            ff0 = Environment.total_events_fast_forwarded
+            flow = _accl_p2p_time(size, n_msgs=n_msgs, location="device")
+            forwarded = Environment.total_events_fast_forwarded - ff0
+        assert _rel(packet, flow) < 1e-5
+        # Every message must ride the convoy: nearly all of the
+        # n_msgs * size/32KiB wire segments are elided, not just the
+        # first sender's opening window.
+        assert forwarded > n_msgs * (size // (32 * units.KIB)) // 2
+
+    def test_mpi_rendezvous_p2p_exact_when_uncontended(self):
+        with fidelity_override("packet"):
+            packet = _mpi_p2p_time(16 * units.MIB, 1)
+        with fidelity_override("flow"):
+            flow = _mpi_p2p_time(16 * units.MIB, 1)
+        assert _rel(packet, flow) < 1e-9
+
+    def test_mpi_concurrent_bulk_falls_back_within_bound(self):
+        # Four concurrent rendezvous messages share the uplink: admission
+        # (and the per-sub-burst re-check) must drop to packet fidelity,
+        # leaving at most a one-sub-burst boundary residue.
+        with fidelity_override("packet"):
+            packet = _mpi_p2p_time(16 * units.MIB, 4)
+        with fidelity_override("flow"):
+            flow = _mpi_p2p_time(16 * units.MIB, 4)
+        assert _rel(packet, flow) < 1e-3
+
+    def test_collective_within_tolerance(self):
+        # 32 MiB over 4 ranks: ring chunks are 8 MiB, right at the flow
+        # admission floor, so the collective actually exercises bursts.
+        with fidelity_override("packet"):
+            packet = accl_collective_time("allreduce", 32 * units.MIB,
+                                          n_nodes=4)
+        with fidelity_override("flow"):
+            ff0 = Environment.total_events_fast_forwarded
+            flow = accl_collective_time("allreduce", 32 * units.MIB,
+                                        n_nodes=4)
+            forwarded = Environment.total_events_fast_forwarded - ff0
+        assert _rel(packet, flow) < 5e-3
+        assert forwarded > 0
+
+    def test_below_floor_message_stays_packet(self):
+        # 1 MiB is under the admission floor: the residual one-window
+        # skew would not be small relative to the message, so flow mode
+        # must leave it untouched (bit-identical, nothing forwarded).
+        with fidelity_override("packet"):
+            packet = _mpi_p2p_time(units.MIB, 1)
+        with fidelity_override("flow"):
+            ff0 = Environment.total_events_fast_forwarded
+            flow = _mpi_p2p_time(units.MIB, 1)
+            forwarded = Environment.total_events_fast_forwarded - ff0
+        assert packet == flow
+        assert forwarded == 0
+
+    def test_flow_reduces_heap_events(self):
+        # One uncontended 16 MiB transfer: the segment train collapses to
+        # a handful of burst events per hop (~30x fewer heap pops).  With
+        # concurrent messages (n_msgs>1) no reduction is expected — packet
+        # mode fair-shares the uplink, so flow mode must fall back.
+        size = 16 * units.MIB
+        with fidelity_override("packet"):
+            e0 = Environment.total_events_processed
+            _accl_p2p_time(size, n_msgs=1, location="device")
+            packet_events = Environment.total_events_processed - e0
+        with fidelity_override("flow"):
+            e0 = Environment.total_events_processed
+            _accl_p2p_time(size, n_msgs=1, location="device")
+            flow_events = Environment.total_events_processed - e0
+        assert flow_events < packet_events / 5
+
+
+def _burst(env, n=8, seg=32 * units.KIB, meta=None, seq_base=0, share=1):
+    return Burst(src=0, dst=1, payload_bytes=n * seg, n_segments=n,
+                 segment_bytes=seg, last_bytes=seg, meta=meta,
+                 head_at=env.now, spacing=0.0, last_at=env.now,
+                 seq_base=seq_base, share=share)
+
+
+class TestLinkBurstPath:
+    def _flow_link(self):
+        env = Environment()
+        link = Link(env, rate=units.gbps(100), latency=units.us(1))
+        segments, bursts = [], []
+        link.connect(segments.append)
+        link.connect_burst(bursts.append, at_tail=True)
+        return env, link, segments, bursts
+
+    def test_idle_link_carries_burst_analytically(self):
+        env, link, segments, bursts = self._flow_link()
+        link.send_burst(_burst(env))
+        env.run()
+        assert len(bursts) == 1 and not segments
+
+    def test_busy_link_expands_foreign_burst(self):
+        env, link, segments, bursts = self._flow_link()
+        link.send(Segment(0, 1, payload_bytes=32 * units.KIB,
+                          meta=object()))
+        link.send_burst(_burst(env, meta=object()))
+        env.run()
+        # 1 plain segment + all 8 of the expanded train, zero bursts.
+        assert len(segments) == 9 and not bursts
+
+    def test_own_tail_continues_analytically(self):
+        env, link, segments, bursts = self._flow_link()
+        owner = object()
+        link.send_burst(_burst(env, meta=owner))
+        assert link.can_fast_forward(owner)        # own tail: continue
+        assert not link.can_fast_forward(object())  # stranger: expand
+        link.send_burst(_burst(env, meta=owner, seq_base=8))
+        env.run()
+        assert len(bursts) == 2 and not segments
+
+    def test_sub_burst_continuation_matches_packet_timing(self):
+        # One 16-segment message as 2 sub-bursts vs 16 paced segments:
+        # the final delivery instant must agree to float precision.
+        seg = 32 * units.KIB
+        owner = object()
+
+        env, link, segments, bursts = self._flow_link()
+        link.send_burst(_burst(env, n=8, meta=owner))
+        handoff = link.send_burst(_burst(env, n=8, meta=owner, seq_base=8))
+        env.run()
+        flow_done = bursts[-1].last_at
+        assert handoff < flow_done
+
+        env2 = Environment()
+        link2 = Link(env2, rate=units.gbps(100), latency=units.us(1))
+        arrivals = []
+        link2.connect(lambda s: arrivals.append(env2.now))
+
+        def sender():
+            for _ in range(16):
+                done = link2.send(Segment(0, 1, payload_bytes=seg))
+                pause = done - env2.now
+                if pause > 0.0:
+                    yield pause
+
+        env2.process(sender())
+        env2.run()
+        assert flow_done == pytest.approx(arrivals[-1], rel=1e-12)
+
+    def test_single_frame_segment_interleaves_into_train(self):
+        # A tiny control segment sent mid-train slots into the next
+        # inter-segment gap (as packet FIFO would), not behind the whole
+        # analytic reservation.
+        env, link, segments, bursts = self._flow_link()
+        train = _burst(env, n=64)
+        link.send_burst(train)
+        train_end = link._pipe._free_at
+        egress = link.send(Segment(0, 1, payload_bytes=64, meta=object()))
+        assert egress < train_end / 2
+        env.run()
+        assert len(segments) == 1 and len(bursts) == 1
+        # The train keeps its analytic reservation for its own tail.
+        assert link._pipe._free_at == train_end
+
+    def test_multi_frame_segment_does_not_interleave(self):
+        env, link, segments, bursts = self._flow_link()
+        link.send_burst(_burst(env, n=64))
+        train_end = link._pipe._free_at
+        egress = link.send(
+            Segment(0, 1, payload_bytes=32 * units.KIB, meta=object()))
+        assert egress > train_end  # FIFO: queued behind the reservation
+
+    def test_interleaved_controls_queue_fifo_between_themselves(self):
+        env, link, segments, bursts = self._flow_link()
+        link.send_burst(_burst(env, n=64))
+        first = link.send(Segment(0, 1, payload_bytes=64, meta=object()))
+        second = link.send(Segment(0, 1, payload_bytes=64, meta=object()))
+        assert second > first
+
+    def test_burst_seq_base_offsets_expanded_seqnos(self):
+        env = Environment()
+        burst = _burst(env, n=4, seq_base=12)
+        seqnos = [s.seqno for _, s in burst.iter_segments()]
+        assert seqnos == [12, 13, 14, 15]
+
+    def test_convoy_simultaneous_formation(self):
+        # Two share=2 bursts reaching an idle link at the same instant
+        # form a round-robin convoy: both spaced at 2x the segment time,
+        # the second's head exactly one slot behind the first's.
+        env, link, segments, bursts = self._flow_link()
+        ba = _burst(env, meta=object(), share=2)
+        bb = _burst(env, meta=object(), share=2)
+        assert link.try_send_burst(ba) is not None
+        assert link.try_send_burst(bb) is not None
+        env.run()
+        assert len(bursts) == 2 and not segments
+        dur = link._pipe.overhead + ba.wire_full / link._pipe.rate
+        assert ba.spacing == pytest.approx(2 * dur)
+        assert bb.spacing == pytest.approx(2 * dur)
+        assert bb.head_at - ba.head_at == pytest.approx(dur)
+
+    def test_convoy_respaces_staggered_founder(self):
+        # A sender that started alone lays a solid train; a sibling
+        # arriving within one segment time joins by re-spacing the
+        # founder's committed train onto the shared grid — the FIFO
+        # interleaving packet mode would have produced.
+        env, link, segments, bursts = self._flow_link()
+        probe = _burst(env)
+        dur = link._pipe.overhead + probe.wire_full / link._pipe.rate
+        res = {}
+
+        def founder():
+            res["f"] = link.try_send_burst(
+                _burst(env, meta=object(), share=1))
+            yield 0.0
+
+        def joiner():
+            yield dur / 2
+            res["j"] = link.try_send_burst(
+                _burst(env, meta=object(), share=2))
+
+        env.process(founder())
+        env.process(joiner())
+        env.run()
+        assert res["f"] is not None and res["j"] is not None
+        assert len(bursts) == 2 and not segments
+        first, second = bursts
+        assert first.spacing == pytest.approx(2 * dur)
+        assert second.spacing == pytest.approx(2 * dur)
+        assert second.head_at - first.head_at == pytest.approx(dur)
+
+    def test_convoy_declines_joiner_after_first_delivery(self):
+        # Once any of the founder's train has been delivered downstream
+        # (one serialization + one propagation) re-spacing would rewrite
+        # history: the joiner must be declined, with no side effects on
+        # the founder's committed solid train.
+        env, link, segments, bursts = self._flow_link()
+        probe = _burst(env)
+        dur = link._pipe.overhead + probe.wire_full / link._pipe.rate
+        res = {}
+
+        def founder():
+            link.try_send_burst(_burst(env, meta=object(), share=1))
+            yield 0.0
+
+        def joiner():
+            yield 2 * dur + link.latency
+            res["j"] = link.try_send_burst(
+                _burst(env, meta=object(), share=2))
+
+        env.process(founder())
+        env.process(joiner())
+        env.run()
+        assert res["j"] is None
+        assert len(bursts) == 1 and not segments
+        assert bursts[0].spacing == pytest.approx(dur)  # still solid
+
+
+class TestCoalesceOffUnderTracing:
+    """``Link(coalesce=False)`` with a bound span tracer must be
+    observationally identical to the coalesced pump — same arrival log,
+    same recorded wait spans."""
+
+    def _run(self, coalesce: bool, train):
+        env = Environment()
+        link = Link(env, rate=units.gbps(10), latency=units.us(1),
+                    coalesce=coalesce)
+        tracer = SpanTracer()
+        link.bind_tracer(tracer)
+        arrivals = []
+        link.connect(lambda seg: arrivals.append((env.now,
+                                                  seg.payload_bytes)))
+        meta = SimpleNamespace(meta=SimpleNamespace(op_id=7))
+
+        def sender():
+            for payload, gap in train:
+                link.send(Segment(0, 1, payload_bytes=payload, meta=meta))
+                if gap > 0.0:
+                    yield gap
+
+        env.process(sender())
+        env.run()
+        spans = [(s.component, s.name, s.t0, s.t1)
+                 for s in tracer.completed_spans]
+        return arrivals, spans, env.now
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_arrivals_and_spans_identical(self, seed):
+        rng = random.Random(seed)
+        train = [(rng.randint(1, Link.MAX_SEGMENT_BYTES),
+                  rng.choice([0.0, 0.0, units.us(rng.uniform(0.5, 20))]))
+                 for _ in range(60)]
+        a_on, s_on, end_on = self._run(True, train)
+        a_off, s_off, end_off = self._run(False, train)
+        assert a_on == a_off
+        assert s_on == s_off
+        assert end_on == end_off
+        assert any(name == "wait:link_busy" for _, name, _, _ in s_on)
