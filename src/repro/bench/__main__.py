@@ -13,6 +13,9 @@ Usage::
     python -m repro.bench critpath fig07 --flamegraph-out flame.txt
     python -m repro.bench check
     python -m repro.bench check fig07 --update
+    python -m repro.bench check --fidelity flow
+    python -m repro.bench dashboard fig07 --out fig07_dashboard.html
+    python -m repro.bench validate-fidelity fig07 --explain
 
 Options::
 
@@ -71,6 +74,23 @@ Options::
     --update                   write the current collection as the new
                                baseline instead of diffing
     --tolerance X              override the default relative tolerance
+    --fidelity MODE            collect and compare under MODE
+                               (``packet``/``flow``; default ``packet``);
+                               the baseline stores one section per mode
+
+``dashboard`` mode (see :mod:`repro.obs.dashboard`)::
+
+    dashboard <artifact>       replay the artifact's traced scenario with
+                               tracing + continuous telemetry snapshots
+                               on, and render one self-contained HTML
+                               report: metric time-series, per-collective
+                               phase/wait-cause breakdowns, the fidelity
+                               decision log and a span flamegraph — no
+                               external assets, openable offline
+    --out PATH                 output file (default
+                               ``<artifact>_dashboard.html``)
+    --fidelity MODE            render under ``packet`` or ``flow``
+                               (default: the active ``$REPRO_FIDELITY``)
 
 ``validate-fidelity`` mode (see :mod:`repro.bench.validate`)::
 
@@ -81,6 +101,10 @@ Options::
                                any deviation out of tolerance
     --quick                    size/scale extremes only, CI-sized
     --json OUT                 write the per-artifact reports as JSON
+    --explain                  instead of the tolerance diff, replay the
+                               named traced artifact(s) in both modes and
+                               attribute the packet-vs-flow divergence per
+                               op and per link (names the top contributor)
 
 ``profile`` extras::
 
@@ -260,6 +284,16 @@ def _parser() -> argparse.ArgumentParser:
                         help="profile mode: record this report in "
                              "benchmarks/perf_baseline.json under the "
                              "active fidelity")
+    parser.add_argument("--fidelity", choices=("packet", "flow"),
+                        default=None, metavar="MODE",
+                        help="check/dashboard mode: run under MODE "
+                             "(packet or flow)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="dashboard mode: output HTML file (default: "
+                             "<artifact>_dashboard.html)")
+    parser.add_argument("--explain", action="store_true",
+                        help="validate-fidelity mode: attribute the "
+                             "packet-vs-flow divergence per op and link")
     return parser
 
 
@@ -356,6 +390,34 @@ def _profile_main(args) -> int:
 
 def _validate_main(args) -> int:
     from repro.bench import validate as validate_mod
+
+    if args.explain:
+        names = args.names[1:]
+        if not names:
+            from repro.obs import capture
+
+            print("usage: python -m repro.bench validate-fidelity "
+                  "<artifact> --explain [--json OUT]", file=sys.stderr)
+            print("explainable:",
+                  ", ".join(capture.traceable_artifacts()), file=sys.stderr)
+            return 2
+        reports = []
+        for name in names:
+            try:
+                report = validate_mod.explain_divergence(name)
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                return 2
+            print(validate_mod.render_explanation(report))
+            print()
+            reports.append(report)
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                json.dump({"schema": 1, "explanations": reports}, fh,
+                          indent=2, sort_keys=True)
+            print(f"wrote {len(reports)} divergence explanations to "
+                  f"{args.json_out}", file=sys.stderr)
+        return 0
 
     names = args.names[1:] or None
     try:
@@ -474,7 +536,8 @@ def _check_main(args) -> int:
 
     baseline_path = args.baseline or check_mod.DEFAULT_BASELINE
     scenarios = args.names[1:] or None
-    current = check_mod.collect(scenarios)
+    fidelity = args.fidelity or "packet"
+    current = check_mod.collect(scenarios, fidelity=fidelity)
     if args.update:
         previous = None
         try:
@@ -483,19 +546,26 @@ def _check_main(args) -> int:
             pass
         check_mod.write_baseline(baseline_path, current, previous)
         n = len(current["scenarios"])
-        print(f"wrote baseline for {n} scenario(s) to {baseline_path}")
+        print(f"wrote baseline for {n} scenario(s) [{fidelity}] to "
+              f"{baseline_path}")
         return 0
     try:
-        baseline = check_mod.load_baseline(baseline_path)
+        doc = check_mod.load_baseline(baseline_path)
     except OSError:
         print(f"no baseline at {baseline_path}; create one with "
-              "`python -m repro.bench check --update`", file=sys.stderr)
+              "`python -m repro.bench check --update "
+              f"--fidelity {fidelity}`", file=sys.stderr)
+        return 2
+    baseline = check_mod.mode_view(doc, fidelity)
+    if not baseline["scenarios"]:
+        print(f"baseline at {baseline_path} has no '{fidelity}' section; "
+              "create one with `python -m repro.bench check --update "
+              f"--fidelity {fidelity}`", file=sys.stderr)
         return 2
     if scenarios:
-        baseline = dict(baseline)
         baseline["scenarios"] = {
             name: metrics
-            for name, metrics in baseline.get("scenarios", {}).items()
+            for name, metrics in baseline["scenarios"].items()
             if name in set(scenarios)
         }
     rows = check_mod.compare(baseline, current, default_tol=args.tolerance)
@@ -503,10 +573,42 @@ def _check_main(args) -> int:
     bad = check_mod.violations(rows)
     if bad:
         print(f"REGRESSION: {len(bad)} metric(s) out of tolerance "
-              f"(baseline: {baseline_path})", file=sys.stderr)
+              f"[{fidelity}] (baseline: {baseline_path})", file=sys.stderr)
         return 1
     print(f"check ok: {len(rows)} metrics within tolerance "
-          f"(baseline: {baseline_path})")
+          f"[{fidelity}] (baseline: {baseline_path})")
+    return 0
+
+
+def _dashboard_main(args) -> int:
+    from repro import units
+    from repro.network.fidelity import default_fidelity, fidelity_override
+    from repro.obs import capture
+    from repro.obs.dashboard import render_dashboard
+
+    if len(args.names) != 2:
+        print("usage: python -m repro.bench dashboard <artifact> "
+              "[--out PATH] [--fidelity MODE]", file=sys.stderr)
+        print("traceable:", ", ".join(capture.traceable_artifacts()),
+              file=sys.stderr)
+        return 2
+    name = args.names[1]
+    fidelity = args.fidelity or default_fidelity()
+    try:
+        with fidelity_override(fidelity):
+            cap = capture.trace_artifact(name, telemetry=units.us(10))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    html = render_dashboard(cap, fidelity=fidelity)
+    out = args.out or f"{name}_dashboard.html"
+    with open(out, "w") as fh:
+        fh.write(html)
+    summary = cap.obs.summary()
+    print(f"dashboard {cap.artifact} [{fidelity}]: {summary['spans']} spans "
+          f"over {len(cap.op_ids)} collectives, "
+          f"{summary.get('telemetry_samples', 0)} telemetry samples -> "
+          f"{out} ({len(html) / 1024:.0f} KiB, self-contained)")
     return 0
 
 
@@ -525,6 +627,8 @@ def main(argv=None) -> int:
         return _critpath_main(args)
     if args.names[0] == "check":
         return _check_main(args)
+    if args.names[0] == "dashboard":
+        return _dashboard_main(args)
     if args.names[0] == "validate-fidelity":
         return _validate_main(args)
     run_all = args.names == ["all"]
@@ -594,11 +698,13 @@ def main(argv=None) -> int:
         # Sum per-point drop counts: the class-wide Tracer.total_dropped is
         # per-process and undercounts when points ran in pool workers.
         dropped = sum(r.dropped for r in runner.records)
+        snap_dropped = sum(r.snap_dropped for r in runner.records)
         ff_note = f" (+{events_ff} fast-forwarded)" if events_ff else ""
         print(f"all: {len(runner.records)} points ({cached_n} cached), "
               f"{events} events{ff_note} in {wall:.2f}s — "
               f"{rate:.1f}k events/s, "
-              f"tracer.dropped={dropped}", file=sys.stderr)
+              f"tracer.dropped={dropped}, "
+              f"snapshots.dropped={snap_dropped}", file=sys.stderr)
     return 0
 
 

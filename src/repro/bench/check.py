@@ -9,18 +9,25 @@ compares such a collection against a committed baseline
 exits nonzero on any regression, so observability accounting and simulated
 performance are both gated in CI.
 
-Baseline schema (version 1)::
+Baseline schema (version 2) keeps one scenario section per fidelity mode,
+so the gate pins both the packet-exact accounting and the flow-mode
+fast-forward accounting::
 
     {
-      "schema": 1,
+      "schema": 2,
       "default_tolerance": 0.02,
       "tolerances": {"fig07.wall_us": 0.05, "spans": 0.0},
-      "scenarios": {"fig07": {"ops": 4.0, "wall_us": ..., ...}, ...}
+      "modes": {
+        "packet": {"fig07": {"ops": 4.0, "wall_us": ..., ...}, ...},
+        "flow":   {"fig07": {...}, ...}
+      }
     }
 
-Tolerance lookup is most-specific-first: ``<scenario>.<metric>``, then
-``<metric>``, then ``default_tolerance``.  Refresh with
-``python -m repro.bench check --update`` after an intentional change.
+Schema-1 baselines (a flat ``"scenarios"`` section) load transparently as
+the ``packet`` mode of a schema-2 document.  Tolerance lookup is
+most-specific-first: ``<scenario>.<metric>``, then ``<metric>``, then
+``default_tolerance``.  Refresh with ``python -m repro.bench check
+--update [--fidelity flow]`` after an intentional change.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 DEFAULT_BASELINE = "benchmarks/obs_baseline.json"
 DEFAULT_TOLERANCE = 0.02
-DEFAULT_SCENARIOS = ("fig07", "fig08", "allreduce")
+DEFAULT_SCENARIOS = ("fig07", "fig08", "allreduce", "fig12")
 
 #: registry gauges summed (over their label sets) into scenario metrics;
 #: kernel_events_processed is deliberately absent — it is class-global and
@@ -44,31 +51,35 @@ _GAUGE_TOTALS = (
     "poe_messages_received",
     "rbm_messages_buffered",
     "link_segments_carried",
+    "link_flow_decisions",
+    "poe_flow_decisions",
 )
 
 
-def collect(scenarios: Optional[Sequence[str]] = None) -> Dict[str, Any]:
-    """Run the traced scenarios and build a baseline-shaped document.
+def collect(scenarios: Optional[Sequence[str]] = None,
+            fidelity: str = "packet") -> Dict[str, Any]:
+    """Run the traced scenarios at *fidelity* and build one mode's
+    scenario section (plus the mode tag).
 
-    Always collects at packet fidelity: the baseline's exact span/event
-    counts are only meaningful against the full per-segment simulation, and
-    the gate should not flap when ``$REPRO_FIDELITY=flow`` is exported for
-    a perf run in the same shell.
+    The fidelity is forced for the collection regardless of
+    ``$REPRO_FIDELITY``, so the gate never flaps when a perf run exported
+    the other mode in the same shell.
     """
     from repro.network.fidelity import fidelity_override
     from repro.obs import capture
     from repro.obs.export import attribute_op
 
     names = list(scenarios) if scenarios else list(DEFAULT_SCENARIOS)
-    with fidelity_override("packet"):
-        return _collect_packet(names, capture, attribute_op)
+    with fidelity_override(fidelity):
+        return _collect(names, fidelity, capture, attribute_op)
 
 
-def _collect_packet(names, capture, attribute_op) -> Dict[str, Any]:
+def _collect(names, fidelity, capture, attribute_op) -> Dict[str, Any]:
     doc: Dict[str, Any] = {
-        "schema": 1,
+        "schema": 2,
         "default_tolerance": DEFAULT_TOLERANCE,
         "tolerances": {},
+        "fidelity": fidelity,
         "scenarios": {},
     }
     for name in names:
@@ -173,23 +184,54 @@ def render_check_table(rows: List[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def mode_view(baseline: Dict[str, Any], fidelity: str) -> Dict[str, Any]:
+    """One fidelity mode of a (loaded) baseline, shaped for :func:`compare`:
+    ``{"default_tolerance", "tolerances", "scenarios"}``."""
+    return {
+        "default_tolerance": baseline.get("default_tolerance",
+                                          DEFAULT_TOLERANCE),
+        "tolerances": baseline.get("tolerances", {}),
+        "scenarios": baseline.get("modes", {}).get(fidelity, {}),
+    }
+
+
 def load_baseline(path: str) -> Dict[str, Any]:
+    """Load a baseline, migrating schema 1 (flat ``scenarios`` = packet
+    fidelity) to the schema-2 ``modes`` layout in memory."""
     with open(path) as fh:
-        return json.load(fh)
+        doc = json.load(fh)
+    if doc.get("schema", 1) < 2 and "modes" not in doc:
+        doc = {
+            "schema": 2,
+            "default_tolerance": doc.get("default_tolerance",
+                                         DEFAULT_TOLERANCE),
+            "tolerances": doc.get("tolerances", {}),
+            "modes": {"packet": doc.get("scenarios", {})},
+        }
+    return doc
 
 
 def write_baseline(path: str, doc: Dict[str, Any],
                    previous: Optional[Dict[str, Any]] = None) -> None:
-    """Write *doc* as the new baseline, carrying tolerances forward and
-    keeping scenarios *doc* did not re-run."""
+    """Fold a :func:`collect` document into the (schema-2) baseline at
+    *path*: its scenarios land under their fidelity mode, tolerances and
+    modes/scenarios the collection did not re-run carry forward."""
+    fidelity = doc.get("fidelity", "packet")
+    out: Dict[str, Any] = {
+        "schema": 2,
+        "default_tolerance": doc.get("default_tolerance",
+                                     DEFAULT_TOLERANCE),
+        "tolerances": dict(doc.get("tolerances", {})),
+        "modes": {},
+    }
     if previous is not None:
-        doc = dict(doc)
-        doc["default_tolerance"] = previous.get(
-            "default_tolerance", doc["default_tolerance"])
-        doc["tolerances"] = dict(previous.get("tolerances", {}))
-        merged = dict(previous.get("scenarios", {}))
-        merged.update(doc["scenarios"])
-        doc["scenarios"] = merged
+        out["default_tolerance"] = previous.get(
+            "default_tolerance", out["default_tolerance"])
+        out["tolerances"] = dict(previous.get("tolerances", {}))
+        out["modes"] = {mode: dict(section) for mode, section
+                        in previous.get("modes", {}).items()}
+    section = out["modes"].setdefault(fidelity, {})
+    section.update(doc.get("scenarios", {}))
     with open(path, "w") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
+        json.dump(out, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -244,13 +244,22 @@ def profile_artifact(
     return report
 
 
+#: metrics-snapshot cadence for the telemetry overhead pass (sim-seconds);
+#: 50 sim-us matches a serving-style scrape resolution — frequent enough
+#: to ramp-profile the quick sweeps, coarse enough that the quoted cost
+#: reflects steady-state sampling rather than degenerate oversampling.
+_OBS_TELEMETRY_CADENCE = units.us(50)
+
+
 def _measure_obs_overhead(name: str, fn, kwargs: Dict[str, Any],
                           baseline: Dict[str, Any]) -> Dict[str, Any]:
     """Re-run *fn* with observability enabled; quantify the cost.
 
-    The baseline (disabled) run has already happened — that order keeps
-    the disabled path the one any warm-up effects favor *against*, so the
-    reported overhead is if anything pessimistic.
+    Two instrumented passes isolate the two cost sources: spans only
+    (record-only tracing, no extra heap events), then spans + continuous
+    telemetry snapshots.  The baseline (disabled) run has already happened
+    — that order keeps the disabled path the one any warm-up effects favor
+    *against*, so the reported overheads are if anything pessimistic.
     """
     from repro.bench.runner import SweepRunner
     from repro.obs import capture
@@ -276,6 +285,33 @@ def _measure_obs_overhead(name: str, fn, kwargs: Dict[str, Any],
         "overhead_pct": ((base_rate / obs_rate - 1.0) * 100.0
                          if obs_rate > 0 else 0.0),
         "summary": summary,
+    }
+
+    # Third pass: spans + telemetry.  Snapshot overhead is quoted against
+    # the span-only run so the two costs are separable in the report.
+    bundle = obs_runtime.enable(telemetry_cadence=_OBS_TELEMETRY_CADENCE)
+    try:
+        runner = SweepRunner(jobs=1, cache=None)
+        measured = measure(lambda: fn(runner=runner, **kwargs),
+                           f"{name}+obs+telemetry")
+        tm_summary = bundle.summary()
+    finally:
+        obs_runtime.disable()
+    telemetry = measured["report"]
+    tm_rate = telemetry["events_per_s"]
+    snapshots = tm_summary.get("telemetry_samples", 0)
+    snap_dropped = tm_summary.get("telemetry_dropped", 0)
+    for rec in runner.records:
+        snapshots += getattr(rec, "snapshots", 0)
+        snap_dropped += getattr(rec, "snap_dropped", 0)
+    block["telemetry"] = {
+        "cadence_s": _OBS_TELEMETRY_CADENCE,
+        "events_per_s": tm_rate,
+        "wall_s": telemetry["wall_s"],
+        "snapshots": snapshots,
+        "snapshots_dropped": snap_dropped,
+        "overhead_pct": ((obs_rate / tm_rate - 1.0) * 100.0
+                         if tm_rate > 0 else 0.0),
     }
     if name in capture.traceable_artifacts():
         cap = capture.trace_artifact(name)
@@ -350,6 +386,15 @@ def render_report(report: Dict[str, Any]) -> str:
             f"    collected {summary.get('metrics', 0)} metrics; "
             f"dropped events={summary.get('events_dropped', 0)} "
             f"spans={summary.get('spans_dropped', 0)}")
+        telemetry = obs.get("telemetry")
+        if telemetry:
+            lines.append(
+                f"  with telemetry snapshots "
+                f"(every {telemetry['cadence_s'] * 1e6:.0f} sim-us): "
+                f"{telemetry['events_per_s']/1e3:.1f}k events/s — "
+                f"{telemetry['overhead_pct']:+.1f}% on top of spans "
+                f"({telemetry['snapshots']} snapshots, "
+                f"{telemetry['snapshots_dropped']} dropped)")
         if obs.get("breakdowns"):
             from repro.obs.export import render_phase_table
 

@@ -81,6 +81,10 @@ class PointResult:
     #: Measured per run — class-wide ``Tracer.total_dropped`` undercounts in
     #: pooled sweeps because each worker process has its own copy.
     dropped: int = 0
+    #: telemetry samples this point's session took / evicted (0 when
+    #: telemetry was off for the run).
+    snapshots: int = 0
+    snap_dropped: int = 0
 
 
 def execute_point(point: SweepPoint) -> Dict[str, Any]:
@@ -96,14 +100,24 @@ def execute_point(point: SweepPoint) -> Dict[str, Any]:
     sim0 = Environment.total_sim_time
     dropped0 = Tracer.total_dropped
     obs_snapshot = None
+    telemetry_snapshot = None
+    snapshots = snap_dropped = 0
     start = time.perf_counter()
     if obs_runtime.is_enabled():
         # Per-point bundle: the snapshot shipped back covers exactly this
         # point, so the parent can merge worker metrics without double
-        # counting (each point builds its own hermetic clusters).
-        with obs_runtime.scoped() as point_obs:
+        # counting (each point builds its own hermetic clusters).  The
+        # telemetry cadence (if any) is inherited from the enabled global;
+        # the point's series is tagged with its key so merged series stay
+        # attributable.
+        with obs_runtime.scoped(
+                telemetry_source=point.key()) as point_obs:
             value = fn(**point.kwargs())
         obs_snapshot = point_obs.registry.snapshot()
+        if point_obs.telemetry is not None:
+            telemetry_snapshot = point_obs.telemetry.snapshot()
+            snapshots = point_obs.telemetry.samples_taken
+            snap_dropped = point_obs.telemetry.dropped
     else:
         value = fn(**point.kwargs())
     out = {
@@ -113,9 +127,13 @@ def execute_point(point: SweepPoint) -> Dict[str, Any]:
         "events": Environment.total_events_processed - events0,
         "events_ff": Environment.total_events_fast_forwarded - ff0,
         "dropped": Tracer.total_dropped - dropped0,
+        "snapshots": snapshots,
+        "snap_dropped": snap_dropped,
     }
     if obs_snapshot is not None:
         out["obs"] = obs_snapshot
+    if telemetry_snapshot is not None:
+        out["telemetry"] = telemetry_snapshot
     return out
 
 
@@ -149,6 +167,8 @@ class SweepRunner:
                     events=record.get("events", 0),
                     events_ff=record.get("events_ff", 0),
                     dropped=record.get("dropped", 0),
+                    snapshots=record.get("snapshots", 0),
+                    snap_dropped=record.get("snap_dropped", 0),
                     cached=True, key=key,
                 )
             else:
@@ -167,14 +187,20 @@ class SweepRunner:
                         execute_point, [point for _, point, _ in pending],
                         chunksize=chunk))
             for (i, point, key), out in zip(pending, outputs):
-                # Metric snapshots fold into the parent's live registry and
-                # are never cached: the cache key ignores observability
-                # state, so a disabled run must be able to reuse the entry.
+                # Metric and telemetry snapshots fold into the parent's live
+                # bundle and are never cached: the cache key ignores
+                # observability state, so a disabled run must be able to
+                # reuse the entry.
                 obs_snapshot = out.pop("obs", None)
-                if obs_snapshot is not None:
+                telemetry_snapshot = out.pop("telemetry", None)
+                if obs_snapshot is not None or telemetry_snapshot is not None:
                     parent_obs = _global_obs()
                     if parent_obs is not None:
-                        parent_obs.registry.merge(obs_snapshot)
+                        if obs_snapshot is not None:
+                            parent_obs.registry.merge(obs_snapshot)
+                        if (telemetry_snapshot is not None
+                                and parent_obs.telemetry is not None):
+                            parent_obs.telemetry.merge(telemetry_snapshot)
                 results[i] = PointResult(point=point, cached=False, key=key,
                                          **out)
                 if self.cache is not None:
@@ -194,6 +220,7 @@ class SweepRunner:
             art = artifacts.setdefault(rec.point.artifact, {
                 "points": [], "wall_s": 0.0, "sim_s": 0.0,
                 "events": 0, "events_ff": 0, "dropped": 0,
+                "snapshots": 0, "snap_dropped": 0,
                 "cached_points": 0,
             })
             art["points"].append({
@@ -205,6 +232,8 @@ class SweepRunner:
                 "events": rec.events,
                 "events_ff": rec.events_ff,
                 "dropped": rec.dropped,
+                "snapshots": rec.snapshots,
+                "snap_dropped": rec.snap_dropped,
                 "cached": rec.cached,
             })
             art["wall_s"] += rec.wall_s
@@ -212,6 +241,8 @@ class SweepRunner:
             art["events"] += rec.events
             art["events_ff"] += rec.events_ff
             art["dropped"] += rec.dropped
+            art["snapshots"] += rec.snapshots
+            art["snap_dropped"] += rec.snap_dropped
             art["cached_points"] += int(rec.cached)
         totals = {
             "points": len(self.records),
@@ -222,6 +253,9 @@ class SweepRunner:
             "events": sum(a["events"] for a in artifacts.values()),
             "events_ff": sum(a["events_ff"] for a in artifacts.values()),
             "dropped": sum(a["dropped"] for a in artifacts.values()),
+            "snapshots": sum(a["snapshots"] for a in artifacts.values()),
+            "snap_dropped": sum(a["snap_dropped"]
+                                for a in artifacts.values()),
         }
         return {
             "schema": 1,

@@ -175,6 +175,103 @@ def run_validation(names: Optional[Sequence[str]] = None,
     return [validate_artifact(name, quick=quick) for name in targets]
 
 
+def explain_divergence(name: str, top: int = 5) -> Dict[str, Any]:
+    """Attribute packet-vs-flow divergence of a *traced* scenario per op,
+    per attribution bucket, and per link (``--explain``).
+
+    Replays the artifact's traced scenario (:mod:`repro.obs.capture`) once
+    per fidelity, aligns the collectives by position (the replay is
+    deterministic, so op ids match), and diffs the critical-path bucket
+    totals of :func:`repro.obs.export.attribute_op`.  The synthetic
+    ``wire:burst`` spans make the wire bucket attributable to individual
+    links in *both* modes, so the per-link table names the hop where the
+    analytic model and the per-segment simulation disagree most.
+    """
+    from repro.obs import capture
+    from repro.obs.export import attribute_op
+
+    if name not in capture.traceable_artifacts():
+        raise KeyError(
+            f"--explain needs a traced scenario; available: "
+            f"{', '.join(capture.traceable_artifacts())}")
+
+    def _reports(mode: str):
+        with fidelity_override(mode):
+            cap = capture.trace_artifact(name)
+            return [attribute_op(cap.tracer, op) for op in cap.op_ids]
+
+    reps_packet = _reports("packet")
+    reps_flow = _reports("flow")
+    rows: List[Dict[str, Any]] = []
+    links: Dict[str, List[float]] = {}
+    wall_packet = sum(r["wall_s"] for r in reps_packet)
+    wall_flow = sum(r["wall_s"] for r in reps_flow)
+    for rp, rf in zip(reps_packet, reps_flow):
+        for bucket in sorted(set(rp["totals"]) | set(rf["totals"])):
+            p_us = rp["totals"].get(bucket, 0.0) * 1e6
+            f_us = rf["totals"].get(bucket, 0.0) * 1e6
+            if p_us or f_us:
+                rows.append({
+                    "op": rp["op_id"], "name": rp["name"], "bucket": bucket,
+                    "packet_us": p_us, "flow_us": f_us,
+                    "delta_us": f_us - p_us,
+                })
+        for rep, idx in ((rp, 0), (rf, 1)):
+            for seg in rep["segments"]:
+                if seg["bucket"] == "wire" and seg["component"]:
+                    links.setdefault(seg["component"], [0.0, 0.0])
+                    links[seg["component"]][idx] += seg["dur_s"] * 1e6
+    rows.sort(key=lambda r: (-abs(r["delta_us"]), r["op"], r["bucket"]))
+    link_rows = sorted(
+        ({"link": link, "packet_us": p, "flow_us": f, "delta_us": f - p}
+         for link, (p, f) in links.items()),
+        key=lambda r: (-abs(r["delta_us"]), r["link"]))
+    return {
+        "artifact": name,
+        "ops": len(reps_packet),
+        "wall_packet_us": wall_packet * 1e6,
+        "wall_flow_us": wall_flow * 1e6,
+        "wall_delta_us": (wall_flow - wall_packet) * 1e6,
+        "rows": rows[:top],
+        "links": link_rows[:top],
+        "top": rows[0] if rows else None,
+    }
+
+
+def render_explanation(report: Dict[str, Any]) -> str:
+    """Human-readable ``--explain`` attribution."""
+    lines = [
+        f"divergence attribution: {report['artifact']} "
+        f"({report['ops']} traced ops)",
+        f"  wall: packet {report['wall_packet_us']:.3f}us  "
+        f"flow {report['wall_flow_us']:.3f}us  "
+        f"delta {report['wall_delta_us']:+.3f}us",
+    ]
+    top = report["top"]
+    if top is None:
+        lines.append("  no attributable divergence (no nonzero buckets)")
+        return "\n".join(lines)
+    lines.append(
+        f"  top contributor: op {top['op']} ({top['name']}) "
+        f"bucket {top['bucket']}: packet {top['packet_us']:.3f}us vs "
+        f"flow {top['flow_us']:.3f}us ({top['delta_us']:+.3f}us)")
+    lines.append("  per-op buckets (largest |delta| first):")
+    for row in report["rows"]:
+        lines.append(
+            f"    op {row['op']:>3} {row['bucket']:<22} "
+            f"packet {row['packet_us']:>12.3f}us  "
+            f"flow {row['flow_us']:>12.3f}us  {row['delta_us']:>+10.3f}us")
+    if report["links"]:
+        lines.append("  per-link critical-path wire time:")
+        for row in report["links"]:
+            lines.append(
+                f"    {row['link']:<26} "
+                f"packet {row['packet_us']:>12.3f}us  "
+                f"flow {row['flow_us']:>12.3f}us  "
+                f"{row['delta_us']:>+10.3f}us")
+    return "\n".join(lines)
+
+
 def render_validation(reports: List[Dict[str, Any]]) -> str:
     """Fixed-width summary table plus any violation details."""
     lines = [f"{'artifact':<9} {'tol':>7} {'max_rel':>10} {'leaves':>7} "

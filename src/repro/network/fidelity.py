@@ -31,6 +31,47 @@ FIDELITIES = ("packet", "flow")
 
 ENV_VAR = "REPRO_FIDELITY"
 
+#: Reason codes for every flow-fidelity decision a :class:`Link` takes on a
+#: burst.  Links count each decision in ``link.flow_decisions`` (exposed as
+#: ``link_flow_decisions{reason=...}`` callback gauges) and, under a span
+#: tracer, record a zero-duration ``phase="fidelity"`` span per decision —
+#: record-only markers that attribution ignores but the dashboard's decision
+#: log and the Chrome trace surface.  All counts stay zero in packet mode.
+LINK_FLOW_DECISIONS = (
+    "burst:carry",           # solo analytic train carried (closed form)
+    "burst:decline:busy",    # first hop declined: serializer busy
+    "burst:decline:unwired", # first hop declined: no burst sink
+    "burst:expand:busy",     # downstream hop expanded: foreign occupancy
+    "burst:expand:convoy",   # convoy path declined -> per-segment expansion
+    "burst:expand:unwired",  # downstream hop expanded: no burst sink
+    "convoy:form",           # convoy grid pinned on an idle serializer
+    "convoy:form:respace",   # grid formed by re-spacing a committed train
+    "convoy:join",           # new member admitted to an existing grid
+    "convoy:widen",          # grid widened (re-spaced) for a late arrival
+    "convoy:lay",            # member sub-burst laid on its first-hop slots
+    "convoy:carry",          # downstream hop carried a convoy train
+    "convoy:decline",        # convoy asked for but grid/timing mismatched
+    "interleave",            # control segment slotted into a train gap
+)
+
+#: Reason codes for the POE-side flow admission pipeline: whether a bulk
+#: message enters the analytic fast-forward path at all, per-window
+#: re-admission between sub-bursts, and mid-message fallbacks to the
+#: per-segment loop (with cause).  Counted in ``poe.flow_tx_decisions``
+#: (``poe_flow_decisions{reason=...}`` gauges) plus zero-duration
+#: ``phase="fidelity"`` decision spans under a tracer.
+POE_FLOW_DECISIONS = (
+    "admit",                    # message enters the analytic burst path
+    "reject:below_floor",       # shorter than the admission floor
+    "reject:paced",             # cut-through producer paces segmentation
+    "reject:packet_sibling",    # a sibling bulk tx runs the packet loop
+    "reject:flow_control",      # credit/window state could stall mid-train
+    "window:readmit",           # sub-burst window re-admitted mid-message
+    "fallback:link_declined",   # first hop declined the burst (with cause)
+    "fallback:packet_sibling",  # packet-loop sibling appeared mid-message
+    "fallback:flow_control",    # flow-control state soured mid-message
+)
+
 
 def default_fidelity() -> str:
     """The process-wide fidelity: ``$REPRO_FIDELITY`` or ``"packet"``."""

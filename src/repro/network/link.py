@@ -14,6 +14,7 @@ from typing import Any, Callable, Deque, Optional, Tuple
 
 from repro.errors import NetworkError
 from repro.sim import BandwidthResource, Environment
+from repro.network.fidelity import LINK_FLOW_DECISIONS
 from repro.network.packet import Burst, Segment
 from repro import units
 
@@ -99,6 +100,26 @@ class Link:
         self._pump_scheduled = False
         # Span tracing (None = disabled): bound via bind_tracer.
         self._span_tracer = None
+        #: per-reason flow-fidelity decision counts (see
+        #: :data:`repro.network.fidelity.LINK_FLOW_DECISIONS`); stays empty
+        #: in packet mode, where no bursts reach this link.
+        self.flow_decisions: dict = {}
+
+    def _flow_decision(self, kind: str, burst: Optional[Burst] = None) -> None:
+        """Count one flow-path decision; under a tracer also drop a
+        zero-duration ``phase="fidelity"`` marker span (record-only:
+        attribution ignores the phase, the decision log renders it)."""
+        d = self.flow_decisions
+        d[kind] = d.get(kind, 0) + 1
+        tracer = self._span_tracer
+        if tracer is not None and burst is not None:
+            op = burst.op_id
+            if op >= 0:
+                now = self.env._now
+                tracer.span_complete(
+                    self.name, f"flow:{kind}", now, now, phase="fidelity",
+                    op_id=op, reason=kind, segments=burst.n_segments,
+                    nbytes=burst.payload_bytes)
 
     def bind_tracer(self, span_tracer) -> None:
         """Record queueing delay behind this link as ``wait:link_busy``
@@ -268,6 +289,7 @@ class Link:
         pipe._record_busy(start, egress_done)
         self._intr_free = egress_done
         self.segments_carried += 1
+        self._flow_decision("interleave")
         tracer = self._span_tracer
         if tracer is not None and start > now:
             meta = getattr(segment.meta, "meta", None)
@@ -328,17 +350,23 @@ class Link:
             # Downstream hop of a convoy train: siblings interleave here
             # with disjoint slot grids, so carry it past the busy check.
             handoff = self._convoy_carry(burst)
-            return handoff if handoff is not None \
-                else self._expand_burst(burst)
+            if handoff is not None:
+                return handoff
+            self._flow_decision("burst:expand:convoy", burst)
+            return self._expand_burst(burst)
         if burst.share > 1:
             # First hop of a symmetric concurrent transmit: serialize on
             # the convoy's round-robin slot grid instead of back-to-back.
             handoff = self._convoy_send(burst)
-            return handoff if handoff is not None \
-                else self._expand_burst(burst)
-        if self._burst_sink is None or (
-                pipe._free_at > head_at
-                and self._last_owner is not burst.meta):
+            if handoff is not None:
+                return handoff
+            self._flow_decision("burst:expand:convoy", burst)
+            return self._expand_burst(burst)
+        if self._burst_sink is None:
+            self._flow_decision("burst:expand:unwired", burst)
+            return self._expand_burst(burst)
+        if pipe._free_at > head_at and self._last_owner is not burst.meta:
+            self._flow_decision("burst:expand:busy", burst)
             return self._expand_burst(burst)
         return self._single_burst(burst)
 
@@ -351,15 +379,52 @@ class Link:
         expansion at the first hop would dump the whole train into the
         FIFO at once)."""
         if self._burst_sink is None:
+            self._flow_decision("burst:decline:unwired", burst)
             return None
         if burst.share > 1:
             return self._convoy_send(burst)
         if (self._pipe._free_at > burst.head_at
                 and self._last_owner is not burst.meta):
+            self._flow_decision("burst:decline:busy", burst)
             return None
         return self._single_burst(burst)
 
+    def _burst_target(self) -> Callable[[Burst], None]:
+        """Delivery callback for a carried burst: the plain sink, or the
+        tracing wrapper that first records this hop's synthetic wire span."""
+        if self._span_tracer is not None:
+            return self._traced_burst_sink
+        return self._burst_sink
+
+    def _traced_burst_sink(self, burst: Burst) -> None:
+        """Deliver a carried burst, recording the elided wire interval as a
+        synthetic ``wire:burst`` span on this link's timeline.
+
+        The span is reconstructed from the burst's timing fields *at fire
+        time*, not at carry time: a committed train may be re-spaced onto a
+        convoy grid (:meth:`_respace`) until its first delivery callback, so
+        only now are ``head_at``/``last_at`` final.  Every carry path sets
+        ``head_at = serialization_start + dur_full + latency``, which makes
+        the serialization window ``[head_at - latency - dur_full,
+        last_at - latency]`` — the same interval the per-segment sends would
+        have occupied.  The sink runs after recording because downstream
+        hops re-stamp the burst in place.
+        """
+        tracer = self._span_tracer
+        if tracer is not None:
+            op = burst.op_id
+            if op >= 0:
+                pipe = self._pipe
+                dur = pipe.overhead + burst.wire_full / pipe.rate
+                t1 = burst.last_at - self.latency
+                t0 = burst.head_at - self.latency - dur
+                tracer.span_complete(
+                    self.name, "wire:burst", t0, t1, phase="wire", op_id=op,
+                    nbytes=burst.payload_bytes, segments=burst.n_segments)
+        self._burst_sink(burst)
+
     def _single_burst(self, burst: Burst) -> float:
+        self._flow_decision("burst:carry", burst)
         pipe = self._pipe
         head_at = burst.head_at
         # Serialization of the head starts when it has both arrived and the
@@ -391,7 +456,7 @@ class Link:
         burst.last_at = f_last + latency
         self.env.schedule_callback_at(
             burst.last_at if self._burst_at_tail else burst.head_at,
-            self._burst_sink, burst)
+            self._burst_target(), burst)
         return f_pen
 
     def _convoy_send(self, burst: Burst) -> Optional[float]:
@@ -413,6 +478,7 @@ class Link:
         to its per-segment loop, which interleaves correctly.
         """
         if self._burst_sink is None:
+            self._flow_decision("burst:decline:unwired", burst)
             return None
         pipe = self._pipe
         env = self.env
@@ -424,8 +490,10 @@ class Link:
         if convoy is None:
             convoy = self._convoy_form(burst, dur)
             if convoy is None:
+                self._flow_decision("convoy:decline", burst)
                 return None
         if dur != convoy["dur"]:
+            self._flow_decision("convoy:decline", burst)
             return None
         members = convoy["members"]
         phase = members.get(id(owner))
@@ -435,16 +503,23 @@ class Link:
                 # formed: a late arrival.  Widen the grid for everyone
                 # (exact while nothing has been delivered downstream).
                 if not self._convoy_grow(convoy):
+                    self._flow_decision("convoy:decline", burst)
                     return None
+                self._flow_decision("convoy:widen", burst)
             elif burst.share != convoy["share"]:
+                self._flow_decision("convoy:decline", burst)
                 return None
             phase = len(members)
             if (burst.seq_base != 0 or phase >= convoy["share"]
                     or burst.head_at > convoy["origin"] + phase * dur):
+                self._flow_decision("convoy:decline", burst)
                 return None
             members[id(owner)] = phase
+            self._flow_decision("convoy:join", burst)
         elif burst.share != convoy["share"]:
+            self._flow_decision("convoy:decline", burst)
             return None
+        self._flow_decision("convoy:lay", burst)
         f_pen = self._convoy_lay(burst, convoy, phase)
         n = burst.n_segments
         pipe._busy_time += ((n - 1) * dur
@@ -455,7 +530,7 @@ class Link:
         Environment.total_events_fast_forwarded += n - 1
         env.schedule_callback_at(
             burst.last_at if self._burst_at_tail else burst.head_at,
-            self._burst_sink, burst)
+            self._burst_target(), burst)
         return f_pen
 
     def _convoy_form(self, burst: Burst, dur: float) -> Optional[dict]:
@@ -483,6 +558,7 @@ class Link:
                 "origin": burst.head_at, "dur": dur,
                 "members": {}, "bursts": {}, "tail": burst.head_at,
             }
+            self._flow_decision("convoy:form", burst)
             return convoy
         relay = self._relay
         if relay is None:
@@ -499,6 +575,7 @@ class Link:
             "members": {id(founder.meta): 0},
             "bursts": {id(founder.meta): founder}, "tail": base,
         }
+        self._flow_decision("convoy:form:respace", burst)
         self._respace(founder, convoy, 0)
         return convoy
 
@@ -612,9 +689,10 @@ class Link:
         burst.head_at = f_head + latency
         burst.spacing = step
         burst.last_at = f_last + latency
+        self._flow_decision("convoy:carry", burst)
         self.env.schedule_callback_at(
             burst.last_at if self._burst_at_tail else burst.head_at,
-            self._burst_sink, burst)
+            self._burst_target(), burst)
         return f_pen
 
     def _expand_burst(self, burst: Burst) -> float:
@@ -635,6 +713,11 @@ class Link:
         registry.gauge("link_segments_carried",
                        fn=lambda: float(self.segments_carried),
                        link=self.name, **labels)
+        for reason in LINK_FLOW_DECISIONS:
+            registry.gauge(
+                "link_flow_decisions",
+                fn=lambda r=reason: float(self.flow_decisions.get(r, 0.0)),
+                link=self.name, reason=reason, **labels)
         self._pipe.register_metrics(registry, name="link",
                                     link=self.name, **labels)
 

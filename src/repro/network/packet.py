@@ -67,6 +67,17 @@ class Segment:
         self.n_frames = frames
         self.wire_bytes = payload + frames * self.header_bytes
 
+    @property
+    def op_id(self) -> int:
+        """Collective op id riding in the protocol header's meta, or -1.
+
+        Segments carry a protocol descriptor in ``meta`` whose own ``meta``
+        is the collective-level context (when traced); links use this to
+        stamp wait spans and fidelity decisions with the owning op.
+        """
+        meta = getattr(self.meta, "meta", None)
+        return getattr(meta, "op_id", -1)
+
     def __repr__(self) -> str:
         return (
             f"<Segment {self.protocol} {self.src}->{self.dst} "
@@ -179,6 +190,12 @@ class Burst:
             mtu=self.mtu, seqno=base + n - 1,
             header_bytes=self.header_bytes,
         )
+
+    @property
+    def op_id(self) -> int:
+        """Collective op id riding in the message header's meta, or -1."""
+        meta = getattr(self.meta, "meta", None)
+        return getattr(meta, "op_id", -1)
 
     def __repr__(self) -> str:
         return (

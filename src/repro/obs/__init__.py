@@ -12,7 +12,12 @@ The simulation platform exists to shorten "hardware debugging cycles"
 - :mod:`repro.obs.export` — Chrome trace-event JSON (opens in Perfetto),
   CSV metrics dumps and the :func:`phase_breakdown` report API;
 - :mod:`repro.obs.critpath` — per-collective critical paths with
-  wait-cause attribution, blocking DAGs and collapsed-stack flamegraphs.
+  wait-cause attribution, blocking DAGs and collapsed-stack flamegraphs;
+- :mod:`repro.obs.timeseries` — :class:`TelemetrySession`, continuous
+  sim-time-cadenced registry snapshots (JSONL / Prometheus / Chrome
+  counter exports, merged across pooled sweep workers);
+- :mod:`repro.obs.dashboard` — a self-contained HTML report over one
+  traced artifact (``bench dashboard``).
 
 Everything is opt-in: with no registry and no tracer attached (the
 default), instrumented components pay at most a ``None`` check.  Enable
@@ -53,6 +58,8 @@ from repro.obs.runtime import (
     get_global,
     is_enabled,
 )
+from repro.obs.timeseries import TelemetrySession
+from repro.obs.dashboard import render_dashboard
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
@@ -63,4 +70,5 @@ __all__ = [
     "to_collapsed_stacks", "write_flamegraph",
     "Observability", "attach",
     "enable", "disable", "get_global", "is_enabled",
+    "TelemetrySession", "render_dashboard",
 ]

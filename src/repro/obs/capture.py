@@ -6,12 +6,18 @@ look at in a trace viewer.  ``trace_artifact(name)`` instead replays one
 returns the capture: open the exported Chrome JSON in Perfetto to see the
 collective's uC / DMP / POE / wire phases laid out per node, or read the
 :func:`~repro.obs.export.phase_breakdown` table the CLI prints.
+
+Every scenario accepts ``telemetry=<cadence-seconds>`` to also record a
+continuous :class:`~repro.obs.timeseries.TelemetrySession` alongside the
+spans (``bench dashboard`` uses this).  Scenarios run at the process-wide
+fidelity (``REPRO_FIDELITY``); fig07's 16 MiB leg and fig12 are large
+enough to engage the flow fast-forward path when it is on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -39,57 +45,85 @@ class TraceCapture:
 
 
 def _traced_cluster(n_nodes: int, protocol: str = "rdma",
-                    platform: str = "coyote"):
+                    platform: str = "coyote",
+                    telemetry: Optional[float] = None):
     from repro.cluster.builder import build_fpga_cluster
     from repro.driver.api import attach_drivers
 
     cluster = build_fpga_cluster(n_nodes, protocol=protocol,
                                  platform=platform)
-    obs = attach(cluster)
+    obs = attach(cluster, Observability(telemetry_cadence=telemetry))
     return cluster, obs, attach_drivers(cluster)
 
 
-def _drain(cluster, requests) -> None:
+def _drain(cluster, requests, obs: Optional[Observability] = None) -> None:
+    if obs is not None and obs.telemetry is not None:
+        obs.telemetry.poke()
     cluster.env.run(until=all_of(cluster.env,
                                  [r.event for r in requests]))
 
 
-def _trace_fig08(**_: Any) -> TraceCapture:
+def _trace_fig08(telemetry: Optional[float] = None, **_: Any) -> TraceCapture:
     """Invocation latency: host nop calls — pure uC dispatch, no wire."""
-    cluster, obs, drivers = _traced_cluster(2)
+    cluster, obs, drivers = _traced_cluster(2, telemetry=telemetry)
     for driver in drivers:
-        _drain(cluster, [driver.nop()])
+        _drain(cluster, [driver.nop()], obs)
     return TraceCapture(
         "fig08", "host nop invocations on 2 nodes (uC dispatch only)",
         obs, obs.tracer.op_ids())
 
 
-def _trace_fig07(**_: Any) -> TraceCapture:
-    """Send/recv throughput: a small (eager) and a large (rendezvous)
-    transfer, back to back — the protocol switch is visible in the trace."""
-    cluster, obs, drivers = _traced_cluster(2)
-    for tag, nbytes in ((7, 16 * units.KIB), (8, units.MIB)):
+def _trace_fig07(telemetry: Optional[float] = None, **_: Any) -> TraceCapture:
+    """Send/recv throughput: a small (eager), a large (rendezvous) and a
+    bulk (flow-eligible) transfer, back to back — the eager/rendezvous
+    protocol switch and, under ``REPRO_FIDELITY=flow``, the burst
+    fast-forward path are all visible in one trace."""
+    cluster, obs, drivers = _traced_cluster(2, telemetry=telemetry)
+    for tag, nbytes in ((7, 16 * units.KIB), (8, units.MIB),
+                        (9, 16 * units.MIB)):
         data = np.ones(nbytes // 4, dtype=np.float32)
         _drain(cluster, [
             drivers[0].send(drivers[0].wrap(data), nbytes, dst=1, tag=tag),
             drivers[1].recv(drivers[1].alloc(nbytes), nbytes, src=0,
                             tag=tag),
-        ])
+        ], obs)
     return TraceCapture(
-        "fig07", "eager (16 KiB) + rendezvous (1 MiB) send/recv on 2 nodes",
+        "fig07",
+        "eager (16 KiB) + rendezvous (1 MiB) + bulk (16 MiB) send/recv "
+        "on 2 nodes",
         obs, obs.tracer.op_ids())
 
 
 def _trace_allreduce(nbytes: int = 64 * units.KIB, n_nodes: int = 4,
+                     telemetry: Optional[float] = None,
                      **_: Any) -> TraceCapture:
     """One cluster-wide allreduce — the richest per-phase picture."""
-    cluster, obs, drivers = _traced_cluster(n_nodes)
+    cluster, obs, drivers = _traced_cluster(n_nodes, telemetry=telemetry)
     data = np.ones(nbytes // 4, dtype=np.float32)
     _drain(cluster, [
         d.allreduce(d.wrap(data), d.alloc(nbytes), nbytes) for d in drivers
-    ])
+    ], obs)
     return TraceCapture(
         "allreduce", f"{n_nodes}-node allreduce of {nbytes} B",
+        obs, obs.tracer.op_ids())
+
+
+def _trace_fig12(nbytes: int = 32 * units.MIB, n_nodes: int = 4,
+                 telemetry: Optional[float] = None,
+                 **_: Any) -> TraceCapture:
+    """Bulk reduce to a root: ring chunks at the flow admission floor.
+
+    A 32 MiB reduce across 4 nodes moves 8 MiB ring chunks — exactly the
+    flow fast-forward floor — so under ``REPRO_FIDELITY=flow`` every bulk
+    hop runs the burst admission/re-admission pipeline; under packet
+    fidelity it is the heaviest traced scenario."""
+    cluster, obs, drivers = _traced_cluster(n_nodes, telemetry=telemetry)
+    data = np.ones(nbytes // 4, dtype=np.float32)
+    _drain(cluster, [
+        d.reduce(d.wrap(data), d.alloc(nbytes), nbytes, 0) for d in drivers
+    ], obs)
+    return TraceCapture(
+        "fig12", f"{n_nodes}-node reduce of {nbytes} B to root 0",
         obs, obs.tracer.op_ids())
 
 
@@ -98,6 +132,7 @@ _SCENARIOS = {
     "fig07": _trace_fig07,
     "allreduce": _trace_allreduce,
     "fig10": _trace_allreduce,
+    "fig12": _trace_fig12,
 }
 
 

@@ -21,21 +21,35 @@ from typing import Iterator, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanTracer
+from repro.obs.timeseries import TelemetrySession
 
 
 class Observability:
-    """One metrics registry + one span tracer, attached as a unit."""
+    """One metrics registry + one span tracer, attached as a unit.
 
-    def __init__(self, trace_capacity: int = 100_000):
+    ``telemetry_cadence`` (sim-seconds) additionally starts a
+    :class:`~repro.obs.timeseries.TelemetrySession` that snapshots the
+    registry continuously; ``None`` (the default) keeps telemetry off so
+    plain span tracing adds no heap events.
+    """
+
+    def __init__(self, trace_capacity: int = 100_000,
+                 telemetry_cadence: Optional[float] = None,
+                 telemetry_capacity: int = 4096):
         self.registry = MetricsRegistry()
         self.tracer = SpanTracer(capacity=trace_capacity)
+        self.telemetry: Optional[TelemetrySession] = None
+        if telemetry_cadence is not None:
+            self.telemetry = TelemetrySession(
+                self.registry, telemetry_cadence,
+                capacity=telemetry_capacity)
 
     def attach(self, cluster) -> "Observability":
         return attach(cluster, self)
 
     def summary(self) -> dict:
         """Counts for run reports: spans, events, drops, open spans."""
-        return {
+        out = {
             "metrics": len(self.registry),
             "trace_events": len(self.tracer),
             "spans": len(self.tracer.completed_spans),
@@ -43,6 +57,10 @@ class Observability:
             "events_dropped": self.tracer.dropped,
             "spans_dropped": self.tracer.spans_dropped,
         }
+        if self.telemetry is not None:
+            out["telemetry_samples"] = self.telemetry.samples_taken
+            out["telemetry_dropped"] = self.telemetry.dropped
+        return out
 
 
 def attach(cluster, obs: Optional[Observability] = None) -> Observability:
@@ -79,6 +97,8 @@ def attach(cluster, obs: Optional[Observability] = None) -> Observability:
                    fn=lambda: float(Environment.total_events_processed))
     registry.gauge("kernel_sim_time_s",
                    fn=lambda: Environment.total_sim_time)
+    if obs.telemetry is not None:
+        obs.telemetry.attach(cluster.env)
     return obs
 
 
@@ -93,11 +113,13 @@ def _count_of(obj, attr: str):
 _GLOBAL: Optional[Observability] = None
 
 
-def enable(trace_capacity: int = 100_000) -> Observability:
+def enable(trace_capacity: int = 100_000,
+           telemetry_cadence: Optional[float] = None) -> Observability:
     """Turn on auto-attach for every cluster built after this call."""
     global _GLOBAL
     if _GLOBAL is None:
-        _GLOBAL = Observability(trace_capacity=trace_capacity)
+        _GLOBAL = Observability(trace_capacity=trace_capacity,
+                                telemetry_cadence=telemetry_cadence)
     return _GLOBAL
 
 
@@ -121,17 +143,28 @@ def auto_attach(cluster) -> None:
 
 
 @contextmanager
-def scoped(trace_capacity: int = 100_000) -> Iterator[Observability]:
+def scoped(trace_capacity: int = 100_000,
+           telemetry_cadence: Optional[float] = None,
+           telemetry_source: str = "main") -> Iterator[Observability]:
     """Run a block against a fresh global bundle, then restore the old one.
 
     Used by :func:`repro.bench.runner.execute_point` so each sweep point
     collects into its own registry — the snapshot it ships back to the
     parent covers exactly that point, whether the point ran inline or in a
-    forked pool worker.
+    forked pool worker.  A telemetry cadence (explicit, or inherited from
+    the bundle being shadowed) gives the point its own
+    :class:`~repro.obs.timeseries.TelemetrySession`, tagged with
+    *telemetry_source* so merged series stay attributable per point.
     """
     global _GLOBAL
     prev = _GLOBAL
-    _GLOBAL = Observability(trace_capacity=trace_capacity)
+    if telemetry_cadence is None and prev is not None \
+            and prev.telemetry is not None:
+        telemetry_cadence = prev.telemetry.cadence
+    _GLOBAL = Observability(trace_capacity=trace_capacity,
+                            telemetry_cadence=telemetry_cadence)
+    if _GLOBAL.telemetry is not None:
+        _GLOBAL.telemetry.source = telemetry_source
     try:
         yield _GLOBAL
     finally:

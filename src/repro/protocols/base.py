@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.errors import ProtocolError
 from repro.network.endpoint import Endpoint
+from repro.network.fidelity import POE_FLOW_DECISIONS
 from repro.network.packet import Burst, Segment
 from repro.sim import Environment, Event
 from repro import units
@@ -140,6 +141,10 @@ class BasePoe:
         #: flow-fidelity transmit enabled for this engine (set per topology)
         self._fidelity_flow = (
             getattr(endpoint, "fidelity", "packet") == "flow")
+        #: per-reason flow admission/fallback counts (see
+        #: :data:`repro.network.fidelity.POE_FLOW_DECISIONS`); stays empty
+        #: in packet mode.
+        self.flow_tx_decisions: dict = {}
         # Span tracing (None = disabled): bound by the owning engine.
         self._span_tracer = None
         self._trace_node = self.name
@@ -160,6 +165,28 @@ class BasePoe:
                        fn=lambda: float(self.messages_sent), **labels)
         registry.gauge("poe_messages_received",
                        fn=lambda: float(self.messages_received), **labels)
+        for reason in POE_FLOW_DECISIONS:
+            registry.gauge(
+                "poe_flow_decisions",
+                fn=lambda r=reason: float(
+                    self.flow_tx_decisions.get(r, 0.0)),
+                reason=reason, **labels)
+
+    def _flow_decision(self, header: MessageHeader, kind: str) -> None:
+        """Count one flow admission/fallback decision for *header*; under a
+        tracer also drop a zero-duration ``phase="fidelity"`` marker span
+        (record-only — attribution ignores it, the decision log shows it)."""
+        d = self.flow_tx_decisions
+        d[kind] = d.get(kind, 0) + 1
+        tracer = self._span_tracer
+        if tracer is not None:
+            op = getattr(header.meta, "op_id", -1)
+            if op >= 0:
+                now = self.env._now
+                tracer.span_complete(
+                    f"{self._trace_node}.poe", f"flow:{kind}", now, now,
+                    phase="fidelity", op_id=op, reason=kind,
+                    msg_id=header.msg_id, nbytes=header.nbytes)
 
     @property
     def address(self) -> int:
@@ -249,6 +276,14 @@ class BasePoe:
                         op_id=getattr(header.meta, "op_id", -1),
                         nbytes=header.nbytes, dst=header.dst_addr)
                 return header
+        elif self._fidelity_flow and header.nbytes > self.segment_bytes:
+            # Bulk message that never entered the analytic path: record why.
+            if pace is not None:
+                self._flow_decision(header, "reject:paced")
+            elif self._tx_bulk_packet > 0:
+                self._flow_decision(header, "reject:packet_sibling")
+            else:
+                self._flow_decision(header, "reject:below_floor")
         if tracer is not None and header.tx_t0 < 0:
             header.tx_t0 = env.now
         endpoint_send = self.endpoint.send
@@ -350,7 +385,9 @@ class BasePoe:
         """
         nbytes = header.nbytes
         if not self._flow_tx_ready(header):
+            self._flow_decision(header, "reject:flow_control")
             return nbytes, 0
+        self._flow_decision(header, "admit")
         env = self.env
         seg = self.segment_bytes
         n_total = -(-nbytes // seg)
@@ -360,6 +397,8 @@ class BasePoe:
         chunk = self._FLOW_SUBBURST_SEGMENTS
         sent = 0
         while sent < n_total:
+            if sent > 0:
+                self._flow_decision(header, "window:readmit")
             k = n_total - sent
             if k > chunk + 1:
                 k = chunk
@@ -377,6 +416,7 @@ class BasePoe:
             )
             handoff = self.endpoint.send_burst(burst)
             if handoff is None:
+                self._flow_decision(header, "fallback:link_declined")
                 return nbytes - sent * seg, sent
             # k-1 elided pacing sleeps plus the per-segment protocol work.
             Environment.total_events_fast_forwarded += (
@@ -388,9 +428,13 @@ class BasePoe:
             if post is not None:
                 yield post
             sent += k
-            if sent < n_total and (self._tx_bulk_packet > 0
-                                   or not self._flow_tx_ready(header)):
-                return nbytes - sent * seg, sent
+            if sent < n_total:
+                if self._tx_bulk_packet > 0:
+                    self._flow_decision(header, "fallback:packet_sibling")
+                    return nbytes - sent * seg, sent
+                if not self._flow_tx_ready(header):
+                    self._flow_decision(header, "fallback:flow_control")
+                    return nbytes - sent * seg, sent
         return 0, n_total
 
     def _flow_tx_ready(self, header: MessageHeader) -> bool:

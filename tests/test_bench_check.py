@@ -16,7 +16,8 @@ def fig08_collection():
 class TestCollect:
     def test_collection_shape(self, fig08_collection):
         doc = fig08_collection
-        assert doc["schema"] == 1
+        assert doc["schema"] == 2
+        assert doc["fidelity"] == "packet"
         metrics = doc["scenarios"]["fig08"]
         assert metrics["ops"] == 2.0
         assert metrics["spans"] > 0
@@ -85,6 +86,43 @@ class TestCompare:
         assert "FAIL" in table and "wall_us" in table
 
 
+class TestBaselineSchema2:
+    def test_schema1_baseline_migrates_to_packet_mode(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({
+            "schema": 1, "default_tolerance": 0.05,
+            "tolerances": {"spans": 0.0},
+            "scenarios": {"fig08": {"ops": 2.0}},
+        }))
+        doc = check_mod.load_baseline(str(path))
+        assert doc["schema"] == 2
+        assert doc["modes"] == {"packet": {"fig08": {"ops": 2.0}}}
+        assert doc["default_tolerance"] == 0.05
+        assert doc["tolerances"] == {"spans": 0.0}
+
+    def test_mode_view_shapes_for_compare(self):
+        doc = {"schema": 2, "default_tolerance": 0.01,
+               "tolerances": {"spans": 0.0},
+               "modes": {"flow": {"fig08": {"ops": 2.0}}}}
+        flow = check_mod.mode_view(doc, "flow")
+        assert flow["scenarios"] == {"fig08": {"ops": 2.0}}
+        assert flow["default_tolerance"] == 0.01
+        assert check_mod.mode_view(doc, "packet")["scenarios"] == {}
+
+    def test_write_baseline_folds_modes_independently(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        packet = {"schema": 2, "fidelity": "packet",
+                  "scenarios": {"fig08": {"ops": 2.0}}}
+        check_mod.write_baseline(str(path), packet)
+        flow = {"schema": 2, "fidelity": "flow",
+                "scenarios": {"fig08": {"ops": 2.0}, "fig07": {"ops": 6.0}}}
+        previous = check_mod.load_baseline(str(path))
+        check_mod.write_baseline(str(path), flow, previous)
+        doc = json.loads(path.read_text())
+        assert doc["modes"]["packet"] == {"fig08": {"ops": 2.0}}
+        assert sorted(doc["modes"]["flow"]) == ["fig07", "fig08"]
+
+
 class TestCheckCli:
     def test_update_then_pass_then_regress(self, tmp_path, capsys):
         baseline = tmp_path / "baseline.json"
@@ -93,7 +131,7 @@ class TestCheckCli:
         assert main(["check", "fig08", "--baseline", str(baseline)]) == 0
         capsys.readouterr()
         doc = json.loads(baseline.read_text())
-        doc["scenarios"]["fig08"]["wall_us"] *= 1.5
+        doc["modes"]["packet"]["fig08"]["wall_us"] *= 1.5
         baseline.write_text(json.dumps(doc))
         assert main(["check", "fig08", "--baseline", str(baseline)]) == 1
         assert "REGRESSION" in capsys.readouterr().err
@@ -104,21 +142,43 @@ class TestCheckCli:
         assert rc == 2
         assert "--update" in capsys.readouterr().err
 
+    def test_missing_mode_section_hints_update(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["check", "fig08", "--update",
+                     "--baseline", str(baseline)]) == 0
+        rc = main(["check", "fig08", "--baseline", str(baseline),
+                   "--fidelity", "flow"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "no 'flow' section" in err and "--fidelity flow" in err
+
+    def test_flow_mode_update_then_pass(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["check", "fig08", "--update",
+                     "--baseline", str(baseline),
+                     "--fidelity", "flow"]) == 0
+        assert main(["check", "fig08", "--baseline", str(baseline),
+                     "--fidelity", "flow"]) == 0
+        assert "[flow]" in capsys.readouterr().out
+
     def test_update_merges_and_keeps_tolerances(self, tmp_path):
         baseline = tmp_path / "baseline.json"
         assert main(["check", "fig08", "--update",
                      "--baseline", str(baseline)]) == 0
         doc = json.loads(baseline.read_text())
         doc["tolerances"] = {"fig08.wall_us": 0.3}
-        doc["scenarios"]["keepme"] = {"ops": 1.0}
+        doc["modes"]["packet"]["keepme"] = {"ops": 1.0}
         baseline.write_text(json.dumps(doc))
         assert main(["check", "fig08", "--update",
                      "--baseline", str(baseline)]) == 0
         merged = json.loads(baseline.read_text())
         assert merged["tolerances"] == {"fig08.wall_us": 0.3}
-        assert "keepme" in merged["scenarios"]
-        assert "fig08" in merged["scenarios"]
+        assert "keepme" in merged["modes"]["packet"]
+        assert "fig08" in merged["modes"]["packet"]
 
     def test_committed_baseline_passes(self):
         """The repo baseline must stay green (the CI gate's clean run)."""
         assert main(["check"]) == 0
+
+    def test_committed_baseline_passes_flow(self):
+        assert main(["check", "--fidelity", "flow"]) == 0
