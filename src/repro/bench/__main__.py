@@ -6,8 +6,11 @@ Usage::
     python -m repro.bench fig07 fig08 tab03
     python -m repro.bench all --jobs 8
     python -m repro.bench all --no-cache --json BENCH_results.json
+    python -m repro.bench figX_scale --quick --shard 0/2 --json s0.json
+    python -m repro.bench merge s0.json s1.json --quick
     python -m repro.bench profile fig07 --quick
     python -m repro.bench profile fig08 --quick --obs
+    python -m repro.bench profile scale --memory --per-node
     python -m repro.bench profile kernel
     python -m repro.bench trace fig08 --trace-out trace.json
     python -m repro.bench critpath fig07 --flamegraph-out flame.txt
@@ -32,13 +35,34 @@ Options::
     --profile-out PATH
                   run under cProfile and dump pstats to PATH
                   (inspect with ``python -m pstats PATH``)
+    --quick       artifact mode: reduced figX_scale slice (CI-sized); other
+                  artifacts run at full size
+    --shard I/N   execute only the sweep points whose cache key hashes to
+                  shard I of N (deterministic partition); out-of-shard
+                  points are skipped, the trajectory records per-point
+                  values, and ``bench merge`` later combines the shards
+
+``merge`` mode::
+
+    merge SHARD.json [SHARD.json ...]
+                  import the executed points of sharded trajectory files
+                  into the result cache, then re-run the artifacts they
+                  cover (every point a cache hit) and render the complete
+                  tables — row-identical to an unsharded run
 
 ``profile`` mode (see :mod:`repro.bench.profile`)::
 
-    profile <artifact>|kernel  events/sec + ns/event for one artifact, or
-                               the kernel microbenchmark suite
+    profile <artifact>|kernel|scale
+                               events/sec + ns/event for one artifact, the
+                               kernel microbenchmark suite, or the
+                               cluster-scale profile (1024-node fat-tree
+                               build + flow-fidelity allreduce)
     --quick                    reduced sweep sized for a CI smoke job
     --memory                   attach tracemalloc, report current/peak
+    --per-node                 scale profile: report construction bytes per
+                               node (tracemalloc delta across the cluster
+                               build / node count) and fold the scale block
+                               into BENCH_results.json's perf section
     --obs                      also run with observability enabled; report
                                the instrumentation overhead and, for traced
                                artifacts, a phase-breakdown table
@@ -124,26 +148,26 @@ import time
 
 from repro.bench import formats, harness
 from repro.bench.cache import ResultCache
-from repro.bench.runner import SweepRunner
+from repro.bench.runner import ShardIncomplete, SweepRunner
 
 DEFAULT_CACHE_DIR = ".bench_cache"
 DEFAULT_JSON_OUT = "BENCH_results.json"
 
 
-def _fig07(runner):
+def _fig07(runner, quick=False):
     rows = harness.run_fig07_sendrecv_throughput(runner=runner)
     return formats.format_rows(
         rows, ["size", "accl_f2f_gbps", "accl_h2h_gbps", "mpi_rdma_gbps"],
         title="Figure 7 — send/recv throughput (Gb/s)")
 
 
-def _fig08(runner):
+def _fig08(runner, quick=False):
     rows = harness.run_fig08_invocation_latency(runner=runner)
     return formats.format_rows(rows, ["caller", "latency_us"],
                                title="Figure 8 — invocation latency (us)")
 
 
-def _fig09(runner):
+def _fig09(runner, quick=False):
     rows = harness.run_fig09_f2f_breakdown(runner=runner)
     return formats.format_rows(
         rows, ["size", "pcie_in", "collective", "pcie_out", "invocation",
@@ -163,23 +187,23 @@ def _collective_table(result, title):
         title=title)
 
 
-def _fig10(runner):
+def _fig10(runner, quick=False):
     return _collective_table(harness.run_fig10_f2f_collectives(runner=runner),
                              "Figure 10 — F2F collectives, 8 ranks (us)")
 
 
-def _fig11(runner):
+def _fig11(runner, quick=False):
     return _collective_table(harness.run_fig11_h2h_collectives(runner=runner),
                              "Figure 11 — H2H collectives, 8 ranks (us)")
 
 
-def _fig12(runner):
+def _fig12(runner, quick=False):
     series = harness.run_fig12_reduce_scalability(runner=runner)
     return formats.format_series(
         series, "ranks", title="Figure 12 — reduce latency vs ranks (us)")
 
 
-def _fig13(runner):
+def _fig13(runner, quick=False):
     result = harness.run_fig13_tcp_xrt(runner=runner)
     rows = []
     for opcode, by_size in result.items():
@@ -191,7 +215,7 @@ def _fig13(runner):
         title="Figure 13 — TCP on XRT, 4 ranks (us)")
 
 
-def _fig16(runner):
+def _fig16(runner, quick=False):
     rows = harness.run_fig16_vecmat(runner=runner)
     return formats.format_rows(
         rows, ["fc_size", "ranks", "backend", "compute_us", "reduce_us",
@@ -199,7 +223,7 @@ def _fig16(runner):
         title="Figure 16 — distributed vector-matrix multiplication")
 
 
-def _fig17(runner):
+def _fig17(runner, quick=False):
     result = harness.run_fig17_dlrm(runner=runner)
     parts = [formats.format_rows(
         result["cpu"], ["batch", "latency_ms", "throughput"],
@@ -211,31 +235,46 @@ def _fig17(runner):
     return "\n\n".join(parts)
 
 
-def _tab01(runner):
+def _tab01(runner, quick=False):
     rows = harness.run_tab01_algorithm_table(runner=runner)
     return formats.format_rows(
         rows, ["collective", "eager", "rndz_small", "rndz_large"],
         title="Table 1 — algorithm selection")
 
 
-def _tab02(runner):
+def _tab02(runner, quick=False):
     rows = harness.run_tab02_dlrm_config(runner=runner)
     return formats.format_rows(
         rows, ["Tables", "Concat Vec Len", "FC Layers", "Embed Size"],
         title="Table 2 — target recommendation model")
 
 
-def _tab03(runner):
+def _tab03(runner, quick=False):
     rows = harness.run_tab03_resources(runner=runner)
     return formats.format_rows(
         rows, ["component", "CLB kLUT", "DSP", "BRAM", "URAM"],
         title="Table 3 — resource utilization (% of U55C)")
 
 
+#: ``--quick`` slice of the scale study: two small node counts at a size
+#: below the flow fast-forward floor — seconds of wall clock, CI-sized.
+FIGX_QUICK_KWARGS = {"node_counts": (8, 16), "size": 2 * 1024 * 1024}
+
+
+def _figX_scale(runner, quick=False):
+    kwargs = dict(FIGX_QUICK_KWARGS) if quick else {}
+    rows = harness.run_figX_scale(runner=runner, **kwargs)
+    return formats.format_rows(
+        rows, ["nodes", "collective", "algorithm", "size", "time_us",
+               "busbw_gbps"],
+        title="Figure X — collective completion vs cluster size (fat-tree)")
+
+
 ARTIFACTS = {
     "fig07": _fig07, "fig08": _fig08, "fig09": _fig09, "fig10": _fig10,
     "fig11": _fig11, "fig12": _fig12, "fig13": _fig13, "fig16": _fig16,
-    "fig17": _fig17, "tab01": _tab01, "tab02": _tab02, "tab03": _tab03,
+    "fig17": _fig17, "figX_scale": _figX_scale,
+    "tab01": _tab01, "tab02": _tab02, "tab03": _tab03,
 }
 
 
@@ -259,10 +298,19 @@ def _parser() -> argparse.ArgumentParser:
                              f"(default when given: {DEFAULT_JSON_OUT})")
     parser.add_argument("--profile-out", default=None, metavar="PATH",
                         help="run under cProfile; dump pstats to PATH")
+    parser.add_argument("--shard", default=None, metavar="I/N",
+                        help="execute only the points whose cache key "
+                             "hashes to shard I of N; combine the shard "
+                             "trajectories with 'merge'")
     parser.add_argument("--quick", action="store_true",
-                        help="profile mode: reduced, CI-sized sweep")
+                        help="profile mode / figX_scale: reduced, "
+                             "CI-sized sweep")
     parser.add_argument("--memory", action="store_true",
                         help="profile mode: attach tracemalloc")
+    parser.add_argument("--per-node", action="store_true",
+                        help="profile scale: report construction bytes per "
+                             "node and record the scale block in "
+                             f"{DEFAULT_JSON_OUT}")
     parser.add_argument("--obs", action="store_true",
                         help="profile mode: measure observability overhead")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
@@ -362,20 +410,25 @@ def _profile_main(args) -> int:
     from repro.bench import profile as profile_mod
 
     if len(args.names) != 2:
-        print("usage: python -m repro.bench profile <artifact>|kernel "
-              "[--quick] [--memory] [--profile-out PATH] [--json OUT] "
-              "[--update-baseline]",
+        print("usage: python -m repro.bench profile <artifact>|kernel|scale "
+              "[--quick] [--memory] [--per-node] [--profile-out PATH] "
+              "[--json OUT] [--update-baseline]",
               file=sys.stderr)
         return 2
     try:
         report = profile_mod.profile_artifact(
             args.names[1], quick=args.quick,
             profile_out=args.profile_out, memory=args.memory,
-            obs=args.obs)
+            obs=args.obs, per_node=args.per_node)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
     print(profile_mod.render_report(report))
+    if report.get("artifact") == "scale" and args.per_node:
+        recorded = profile_mod.record_scale_block(report, DEFAULT_JSON_OUT)
+        if recorded:
+            print(f"recorded scale block in perf section of "
+                  f"{DEFAULT_JSON_OUT}", file=sys.stderr)
     if args.json_out:
         with open(args.json_out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
@@ -612,6 +665,65 @@ def _dashboard_main(args) -> int:
     return 0
 
 
+#: record fields a shard trajectory point carries into the result cache
+_MERGE_FIELDS = ("wall_s", "sim_s", "events", "events_ff", "dropped",
+                 "snapshots", "snap_dropped")
+
+
+def _merge_main(args) -> int:
+    """Combine sharded trajectory JSONs into the complete artifacts."""
+    shard_files = args.names[1:]
+    if not shard_files:
+        print("usage: python -m repro.bench merge SHARD.json [SHARD.json "
+              "...] [--cache DIR] [--json OUT] [--quick]", file=sys.stderr)
+        return 2
+    if args.no_cache:
+        print("merge needs a result cache to import shard records into; "
+              "drop --no-cache", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache)
+    artifacts: list = []
+    imported = skipped = 0
+    for path in shard_files:
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read shard trajectory {path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if doc.get("shard") is None:
+            print(f"warning: {path} was not written by a --shard run; "
+                  "importing its points anyway", file=sys.stderr)
+        for name, art in doc.get("artifacts", {}).items():
+            if name not in artifacts:
+                artifacts.append(name)
+            for point in art.get("points", []):
+                if point.get("skipped"):
+                    skipped += 1
+                    continue
+                if "value" not in point:
+                    print(f"warning: {path}: point without a recorded "
+                          "value (trajectory predates shard support?); "
+                          "it will re-execute", file=sys.stderr)
+                    continue
+                record = {"value": point["value"]}
+                record.update({field: point.get(field, 0)
+                               for field in _MERGE_FIELDS})
+                cache.put(point["key"], record)
+                imported += 1
+    print(f"merge: imported {imported} executed point(s) from "
+          f"{len(shard_files)} shard file(s) ({skipped} skipped entries); "
+          f"re-rendering {', '.join(artifacts)}", file=sys.stderr)
+    sub = list(artifacts)
+    sub += ["--cache", args.cache, "--jobs", str(args.jobs)]
+    if args.quick:
+        sub.append("--quick")
+    if args.json_out:
+        sub += ["--json", args.json_out]
+    return main(sub)
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     args = _parser().parse_args(argv)
@@ -631,6 +743,8 @@ def main(argv=None) -> int:
         return _dashboard_main(args)
     if args.names[0] == "validate-fidelity":
         return _validate_main(args)
+    if args.names[0] == "merge":
+        return _merge_main(args)
     run_all = args.names == ["all"]
     names = sorted(ARTIFACTS) if run_all else args.names
     unknown = [n for n in names if n not in ARTIFACTS]
@@ -639,17 +753,38 @@ def main(argv=None) -> int:
         print("available:", ", ".join(sorted(ARTIFACTS)), file=sys.stderr)
         return 2
 
+    shard = None
+    if args.shard:
+        try:
+            index, count = (int(part) for part in args.shard.split("/"))
+            shard = (index, count)
+            if not 0 <= index < count:
+                raise ValueError
+        except ValueError:
+            print(f"--shard wants I/N with 0 <= I < N, got {args.shard!r}",
+                  file=sys.stderr)
+            return 2
+
     cache = None if args.no_cache else ResultCache(args.cache)
-    runner = SweepRunner(jobs=args.jobs, cache=cache)
+    runner = SweepRunner(jobs=args.jobs, cache=cache, shard=shard)
     profiler = cProfile.Profile() if args.profile_out else None
+    incomplete: list = []
     start = time.perf_counter()
     if profiler:
         profiler.enable()
     try:
         for name in names:
-            print(ARTIFACTS[name](runner))
+            try:
+                print(ARTIFACTS[name](runner, quick=args.quick))
+            except ShardIncomplete as exc:
+                incomplete.append(name)
+                print(f"[shard {shard[0]}/{shard[1]}] {name}: partial — "
+                      f"{exc.skipped} point(s) belong to other shards; "
+                      "combine the shard trajectories with "
+                      "`python -m repro.bench merge`")
             print()
     finally:
+        runner.close()
         if profiler:
             profiler.disable()
             profiler.dump_stats(args.profile_out)
@@ -660,11 +795,15 @@ def main(argv=None) -> int:
               file=sys.stderr)
 
     json_out = args.json_out or (DEFAULT_JSON_OUT if run_all else None)
+    if shard is not None and json_out is None:
+        # A shard run's only durable product is its trajectory; always
+        # write one so `bench merge` has something to combine.
+        json_out = f"BENCH_shard{shard[0]}of{shard[1]}.json"
     if json_out:
         from repro.bench.profile import perf_section
 
         history = _perf_history(json_out)
-        trajectory = runner.trajectory()
+        trajectory = runner.trajectory(include_values=shard is not None)
         trajectory["cli"] = {
             "artifacts": names,
             "wall_s": wall,

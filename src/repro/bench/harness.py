@@ -685,6 +685,93 @@ def run_fig17_dlrm(n_inferences: int = 48,
 
 
 # ---------------------------------------------------------------------------
+# Figure X: collective completion time vs cluster size (scale study)
+# ---------------------------------------------------------------------------
+
+def scale_topology_factory(fabric: str, n_nodes: int) -> Callable:
+    """Factory for the smallest *fabric* instance holding ``n_nodes`` hosts.
+
+    ``fattree`` picks the smallest even ``k`` with ``k^3/4 >= n_nodes``;
+    ``leafspine`` uses 16-port leaves under 4 spines; ``dragonfly`` doubles
+    the group radix until the palmtree-wired maximum fits.
+    """
+    from repro.network.topology import (DragonflyTopology, FatTreeTopology,
+                                        LeafSpineTopology)
+
+    if fabric == "fattree":
+        k = 2
+        while k ** 3 // 4 < n_nodes:
+            k += 2
+        return lambda env: FatTreeTopology(env, k=k)
+    if fabric == "leafspine":
+        return lambda env: LeafSpineTopology(env, ports_per_leaf=16,
+                                             n_spines=4)
+    if fabric == "dragonfly":
+        a, p, h = 4, 4, 2
+        while a * p * (a * h + 1) < n_nodes:
+            a, h = a * 2, h * 2
+        return lambda env: DragonflyTopology(
+            env, routers_per_group=a, hosts_per_router=p,
+            global_links_per_router=h)
+    raise ValueError(f"unknown fabric {fabric!r}")
+
+
+@point_kernel("scale_collective")
+def _kernel_scale_collective(opcode: str, size: int, n_nodes: int,
+                             algorithm: Optional[str] = None,
+                             fabric: str = "fattree",
+                             sync_protocol: str = "rndz") -> float:
+    factory = scale_topology_factory(fabric, n_nodes)
+    return accl_collective_time(
+        opcode, size, n_nodes=n_nodes, sync_protocol=sync_protocol,
+        algorithm=algorithm,
+        cluster_builder=lambda n, **kw: build_fpga_cluster(
+            n, topology_factory=factory, peering="lazy", **kw))
+
+
+#: (collective, algorithm) pairs of the scale study; ``None`` = selector.
+SCALE_GRID = (
+    ("allreduce", "ring"),
+    ("allreduce", "reduce_bcast"),
+    ("bcast", None),
+)
+
+
+def run_figX_scale(node_counts=(16, 64, 256), size: int = 16 * MIB,
+                   fabric: str = "fattree",
+                   runner: Optional[SweepRunner] = None) -> List[dict]:
+    """Collective completion time vs cluster size on a large fabric.
+
+    One hermetic fat-tree cluster per point (lazy RDMA peering), swept over
+    nodes x collective x algorithm.  Message sizes sit above the flow-mode
+    fast-forward floor for the whole-message algorithms, so this is the
+    artifact that exercises cluster scale in both fidelity modes.
+    """
+    runner = runner or SweepRunner()
+    grid = [(n, opcode, algorithm)
+            for n in node_counts
+            for opcode, algorithm in SCALE_GRID]
+    points = [
+        SweepPoint.make("figX_scale", "scale_collective", opcode=opcode,
+                        size=size, n_nodes=n, algorithm=algorithm,
+                        fabric=fabric)
+        for n, opcode, algorithm in grid
+    ]
+    times = runner.run(points)
+    rows = []
+    for (n, opcode, algorithm), t in zip(grid, times):
+        rows.append({
+            "nodes": n,
+            "collective": opcode,
+            "algorithm": algorithm or "auto",
+            "size": units.pretty_size(size),
+            "time_us": units.to_us(t),
+            "busbw_gbps": units.to_gbps(size / t),
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Table 3: resource utilization
 # ---------------------------------------------------------------------------
 

@@ -165,6 +165,7 @@ def run_microbenchmarks(quick: bool = False) -> List[Dict[str, Any]]:
 _QUICK_KWARGS: Dict[str, Dict[str, Any]] = {
     "fig07": {"sizes": [64 * units.KIB, units.MIB, 16 * units.MIB]},
     "fig16": {"sizes": (2048, 4096)},
+    "figX_scale": {"node_counts": (8, 16), "size": 2 * units.MIB},
 }
 
 
@@ -181,7 +182,107 @@ def _artifact_functions() -> Dict[str, Callable]:
         "fig13": harness.run_fig13_tcp_xrt,
         "fig16": harness.run_fig16_vecmat,
         "fig17": harness.run_fig17_dlrm,
+        "figX_scale": harness.run_figX_scale,
     }
+
+
+# ---------------------------------------------------------------------------
+# cluster-scale profile (``profile scale``)
+# ---------------------------------------------------------------------------
+
+#: the headline scale configuration: a 1024-host fat-tree (k=16)
+SCALE_NODES = 1024
+#: allreduce payload for the scale run — above the flow-mode fast-forward
+#: admission floor, so the collective exercises the analytic path
+SCALE_ALLREDUCE_BYTES = 16 * units.MIB
+
+
+def profile_scale(nodes: int = SCALE_NODES, fabric: str = "fattree",
+                  quick: bool = False, memory: bool = True,
+                  per_node: bool = False) -> Dict[str, Any]:
+    """Construction footprint + one flow-fidelity allreduce at scale.
+
+    Builds a ``nodes``-host large fabric under ``tracemalloc`` (the
+    construction cost the memory-lean refactor targets), then runs one
+    16 MiB ``reduce_bcast`` allreduce across all hosts at flow fidelity.
+    ``per_node`` adds the ``bytes_per_node`` figure that ``bench profile
+    --memory --per-node`` commits to the perf section of
+    ``BENCH_results.json``.
+    """
+    from repro.bench.harness import accl_collective_time, \
+        scale_topology_factory
+    from repro.cluster import build_fpga_cluster
+    from repro.network.fidelity import fidelity_override
+
+    if quick:
+        nodes = min(nodes, 128)
+    factory = scale_topology_factory(fabric, nodes)
+
+    def builder(n, **kw):
+        return build_fpga_cluster(n, topology_factory=factory,
+                                  peering="lazy", **kw)
+
+    tracemalloc.start()
+    base, _ = tracemalloc.get_traced_memory()
+    t0 = time.perf_counter()
+    cluster = builder(nodes, protocol="rdma", platform="coyote")
+    build_s = time.perf_counter() - t0
+    built, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    build_bytes = built - base
+    del cluster
+
+    with fidelity_override("flow"):
+        measured = measure(
+            lambda: accl_collective_time(
+                "allreduce", SCALE_ALLREDUCE_BYTES, n_nodes=nodes,
+                sync_protocol="rndz", algorithm="reduce_bcast",
+                cluster_builder=builder),
+            f"scale-allreduce-{nodes}")
+    allreduce = measured["report"]
+    allreduce.update(size=SCALE_ALLREDUCE_BYTES, algorithm="reduce_bcast",
+                     fidelity="flow", time_s=measured["value"])
+
+    report: Dict[str, Any] = {
+        "artifact": "scale",
+        "quick": quick,
+        "nodes": nodes,
+        "fabric": fabric,
+        "build_s": build_s,
+        "build_bytes": build_bytes,
+        "allreduce": allreduce,
+    }
+    if per_node:
+        report["bytes_per_node"] = build_bytes / nodes
+    return report
+
+
+def record_scale_block(report: Dict[str, Any],
+                       json_out: str = "BENCH_results.json") -> bool:
+    """Fold a scale profile into *json_out*'s ``perf`` section.
+
+    Returns False (and writes nothing) when the trajectory file does not
+    exist yet — the scale block rides on a previously generated
+    ``BENCH_results.json``, it never creates one.
+    """
+    import json
+
+    try:
+        with open(json_out) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        return False
+    perf = doc.setdefault("perf", {})
+    perf["scale"] = {
+        key: report[key]
+        for key in ("nodes", "fabric", "build_s", "build_bytes",
+                    "bytes_per_node", "allreduce")
+        if key in report
+    }
+    with open(json_out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return True
 
 
 def profile_artifact(
@@ -190,6 +291,7 @@ def profile_artifact(
     profile_out: Optional[str] = None,
     memory: bool = False,
     obs: bool = False,
+    per_node: bool = False,
 ) -> Dict[str, Any]:
     """Profile one artifact (or ``"kernel"`` for microbenchmarks only).
 
@@ -206,12 +308,14 @@ def profile_artifact(
     if name == "kernel":
         return {"artifact": "kernel", "quick": quick,
                 "microbenchmarks": run_microbenchmarks(quick)}
+    if name == "scale":
+        return profile_scale(quick=quick, per_node=per_node)
 
     functions = _artifact_functions()
     if name not in functions:
         raise KeyError(
             f"unknown artifact {name!r}; profileable: "
-            f"{', '.join(sorted(functions))}, kernel")
+            f"{', '.join(sorted(functions))}, kernel, scale")
     kwargs = dict(_QUICK_KWARGS.get(name, {})) if quick else {}
     runner = SweepRunner(jobs=1, cache=None)  # profiling wants cold points
 
@@ -344,6 +448,26 @@ def perf_section(records, wall_s: float) -> Dict[str, Any]:
 def render_report(report: Dict[str, Any]) -> str:
     """Human-readable rendering of a :func:`profile_artifact` report."""
     lines = []
+    if report.get("artifact") == "scale":
+        nodes = report["nodes"]
+        lines.append(
+            f"scale ({report['fabric']}, {nodes} nodes"
+            + (", --quick" if report.get("quick") else "") + ")")
+        lines.append(
+            f"  cluster build: {report['build_s']:.2f}s, "
+            f"{report['build_bytes'] / 2**20:.1f} MiB tracemalloc delta")
+        if "bytes_per_node" in report:
+            lines.append(
+                f"  bytes/node: {report['bytes_per_node'] / 1024:.1f} KiB")
+        ar = report["allreduce"]
+        equivalent = ar["events"] + ar["events_ff"]
+        lines.append(
+            f"  allreduce {units.pretty_size(ar['size'])} "
+            f"({ar['algorithm']}, fidelity={ar['fidelity']}): "
+            f"sim {ar['time_s'] * 1e3:.2f} ms in {ar['wall_s']:.1f}s wall, "
+            f"{equivalent} events ({ar['events_ff']} fast-forwarded), "
+            f"{ar['events_per_s'] / 1e3:.1f}k events/s")
+        return "\n".join(lines)
     micro = report.get("microbenchmarks")
     if micro is not None:
         lines.append("kernel microbenchmarks"

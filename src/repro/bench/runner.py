@@ -44,6 +44,46 @@ def _global_obs():
     return get_global()
 
 
+def _worker_warmup() -> None:
+    """Pool initializer: pay per-process start-up cost once per worker.
+
+    Importing the harness pulls in numpy and every artifact module
+    (populating :data:`KERNELS`), and the calibration fingerprint hashes
+    the whole source tree; both are memoized per process.  Without this
+    initializer each worker paid those costs inside its first
+    :func:`execute_point` call — and because a fresh pool used to be
+    created per ``run()`` call, once per *artifact* per worker, which is
+    the multi-job slowdown recorded in the BENCH_results.json history.
+    """
+    import repro.bench.harness  # noqa: F401 — populates KERNELS, loads numpy
+    from repro.bench.cache import calibration_fingerprint
+
+    calibration_fingerprint()
+
+
+class ShardIncomplete(Exception):
+    """A sharded run skipped points owned by other shards.
+
+    Raised by :meth:`SweepRunner.run` after executing (and caching) every
+    point this shard owns, so callers know the artifact cannot be
+    assembled from this shard alone; ``bench merge`` combines the shards'
+    trajectory JSONs into the full artifact.
+    """
+
+    def __init__(self, artifact: str, skipped: int):
+        self.artifact = artifact
+        self.skipped = skipped
+        super().__init__(
+            f"{artifact}: {skipped} point(s) belong to other shards"
+        )
+
+
+def shard_of(key: str, n_shards: int) -> int:
+    """Deterministic shard owner of a cache key (content-addressed, so the
+    partition is stable across processes, hosts and orderings)."""
+    return int(key[:8], 16) % n_shards
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     """One independent unit of benchmark work (one simulated cluster)."""
@@ -85,6 +125,9 @@ class PointResult:
     #: telemetry was off for the run).
     snapshots: int = 0
     snap_dropped: int = 0
+    #: True when a sharded run left this point to another shard (value is
+    #: None and no execution metadata was recorded).
+    skipped: bool = False
 
 
 def execute_point(point: SweepPoint) -> Dict[str, Any]:
@@ -141,23 +184,60 @@ class SweepRunner:
     """Executes point lists: fan-out, memoization, metadata accounting.
 
     ``jobs=1`` runs points inline (the fully sequential, easily debuggable
-    path); ``jobs>1`` dispatches cache misses to a process pool.  Results
-    always come back in point order, so figure assembly is independent of
-    scheduling and a parallel sweep is row-for-row identical to a
-    sequential one.
+    path); ``jobs>1`` dispatches cache misses to a process pool.  The pool
+    is created once per runner (warm workers via :func:`_worker_warmup`)
+    and reused across ``run()`` calls, so a multi-artifact sweep pays
+    worker start-up once, not once per artifact.  Results always come back
+    in point order, so figure assembly is independent of scheduling and a
+    parallel sweep is row-for-row identical to a sequential one.
+
+    ``shard=(i, n)`` restricts execution to the points whose cache key
+    hashes to shard *i* of *n* (:func:`shard_of`).  Out-of-shard points
+    are still served from the cache when possible; if any remain unserved
+    after this shard's own points have executed (and been cached),
+    :class:`ShardIncomplete` is raised — ``bench merge`` later combines
+    the shards' result JSONs into the complete artifact.
     """
 
-    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None):
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
+                 shard: Optional[tuple] = None):
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        if shard is not None:
+            index, count = shard
+            if not 0 <= index < count:
+                raise ValueError(f"shard index {index} outside 0..{count - 1}")
+        self.shard = shard
         self.records: List[PointResult] = []
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=_worker_warmup)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def run(self, points: Sequence[SweepPoint]) -> List[Any]:
         """Execute *points*; returns their values in point order."""
         results: List[Optional[PointResult]] = [None] * len(points)
         pending: List[tuple] = []
+        skipped: List[tuple] = []
         for i, point in enumerate(points):
-            key = point.key() if self.cache is not None else None
+            key = (point.key()
+                   if self.cache is not None or self.shard is not None
+                   else None)
             record = self.cache.get(key) if self.cache is not None else None
             if record is not None:
                 results[i] = PointResult(
@@ -171,6 +251,9 @@ class SweepRunner:
                     snap_dropped=record.get("snap_dropped", 0),
                     cached=True, key=key,
                 )
+            elif (self.shard is not None
+                    and shard_of(key, self.shard[1]) != self.shard[0]):
+                skipped.append((i, point, key))
             else:
                 pending.append((i, point, key))
 
@@ -182,10 +265,9 @@ class SweepRunner:
                 # Batch points per pickling round-trip; map() preserves
                 # input order, which the assemblers rely on.
                 chunk = max(1, len(pending) // (workers * 4))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    outputs = list(pool.map(
-                        execute_point, [point for _, point, _ in pending],
-                        chunksize=chunk))
+                outputs = list(self._ensure_pool().map(
+                    execute_point, [point for _, point, _ in pending],
+                    chunksize=chunk))
             for (i, point, key), out in zip(pending, outputs):
                 # Metric and telemetry snapshots fold into the parent's live
                 # bundle and are never cached: the cache key ignores
@@ -206,24 +288,41 @@ class SweepRunner:
                 if self.cache is not None:
                     self.cache.put(key, out)
 
+        for i, point, key in skipped:
+            results[i] = PointResult(
+                point=point, value=None, wall_s=0.0, sim_s=0.0,
+                events=0, cached=False, key=key, skipped=True,
+            )
+
         self.records.extend(results)  # type: ignore[arg-type]
+        if skipped:
+            # Raised *after* this shard's own points executed and were
+            # cached: the shard's work product (cache entries + trajectory
+            # records) is complete even though the artifact is not.
+            raise ShardIncomplete(points[0].artifact if points else "?",
+                                  len(skipped))
         return [r.value for r in results]  # type: ignore[union-attr]
 
     def run_one(self, point: SweepPoint) -> Any:
         """Convenience for single-point artifacts (tables, DLRM)."""
         return self.run([point])[0]
 
-    def trajectory(self) -> Dict[str, Any]:
-        """The machine-readable run summary (``BENCH_results.json``)."""
+    def trajectory(self, include_values: bool = False) -> Dict[str, Any]:
+        """The machine-readable run summary (``BENCH_results.json``).
+
+        ``include_values=True`` (sharded runs) additionally records each
+        point's raw kernel value and skip flag, so ``bench merge`` can
+        re-import the executed points into a result cache.
+        """
         artifacts: Dict[str, Any] = {}
         for rec in self.records:
             art = artifacts.setdefault(rec.point.artifact, {
                 "points": [], "wall_s": 0.0, "sim_s": 0.0,
                 "events": 0, "events_ff": 0, "dropped": 0,
                 "snapshots": 0, "snap_dropped": 0,
-                "cached_points": 0,
+                "cached_points": 0, "skipped_points": 0,
             })
-            art["points"].append({
+            entry = {
                 "kernel": rec.point.kernel,
                 "params": rec.point.kwargs(),
                 "key": rec.key,
@@ -235,7 +334,12 @@ class SweepRunner:
                 "snapshots": rec.snapshots,
                 "snap_dropped": rec.snap_dropped,
                 "cached": rec.cached,
-            })
+            }
+            if include_values:
+                entry["value"] = rec.value
+                entry["skipped"] = rec.skipped
+            art["points"].append(entry)
+            art["skipped_points"] += int(rec.skipped)
             art["wall_s"] += rec.wall_s
             art["sim_s"] += rec.sim_s
             art["events"] += rec.events
@@ -248,6 +352,8 @@ class SweepRunner:
             "points": len(self.records),
             "cached_points": sum(a["cached_points"]
                                  for a in artifacts.values()),
+            "skipped_points": sum(a["skipped_points"]
+                                  for a in artifacts.values()),
             "wall_s": sum(a["wall_s"] for a in artifacts.values()),
             "sim_s": sum(a["sim_s"] for a in artifacts.values()),
             "events": sum(a["events"] for a in artifacts.values()),
@@ -260,6 +366,7 @@ class SweepRunner:
         return {
             "schema": 1,
             "jobs": self.jobs,
+            "shard": (None if self.shard is None else list(self.shard)),
             "cache": (None if self.cache is None else str(self.cache.root)),
             "totals": totals,
             "artifacts": artifacts,

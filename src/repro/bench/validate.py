@@ -41,6 +41,9 @@ TOLERANCES: Dict[str, float] = {
     "fig13": 1e-2,   # TCP: bulk retx-buffer charging is the loosest model
     "fig16": 5e-3,   # vecmat: analytic compute + reduce
     "fig17": 5e-3,   # DLRM pipeline
+    "figX_scale": 1e-2,  # large-fabric collectives: 16 MiB messages sit
+                         # above the flow fast-forward floor, so the
+                         # whole-message algorithms take the analytic path
     "tab01": 0.0,    # pure selector table
     "tab02": 0.0,    # static config table
     "tab03": 0.0,    # static resource table
@@ -57,6 +60,7 @@ QUICK_KWARGS: Dict[str, Dict[str, Any]] = {
     "fig13": {"sizes": [16 * units.KIB, 16 * units.MIB]},
     "fig16": {"sizes": [4096], "rank_counts": [2, 8]},
     "fig17": {"n_inferences": 8},
+    "figX_scale": {"node_counts": [16, 64]},
 }
 
 

@@ -37,6 +37,19 @@ from repro.cclo.rbm import RxBufManager
 from repro.cclo.txrx import RxSystem, TxSystem
 
 
+_SELECTOR = None
+
+
+def _default_selector():
+    """Shared stateless selection policy (one instance per process)."""
+    global _SELECTOR
+    if _SELECTOR is None:
+        from repro.collectives import AlgorithmSelector
+
+        _SELECTOR = AlgorithmSelector()
+    return _SELECTOR
+
+
 class CcloEngine:
     """One collective offload engine instance."""
 
@@ -76,11 +89,13 @@ class CcloEngine:
 
         # Default firmware + selection policy (Table 1); users may register
         # additional collectives against ``self.uc.registry`` at runtime.
-        from repro.collectives import AlgorithmSelector, install_default_firmware
+        # The stock table and the (stateless) selector are process-wide
+        # shared objects; each node's registry is a thin overlay so runtime
+        # registrations stay per-engine.
+        from repro.collectives.registry import default_firmware_registry
 
-        self.selector = AlgorithmSelector()
-        registry = FirmwareRegistry()
-        install_default_firmware(registry)
+        self.selector = _default_selector()
+        registry = FirmwareRegistry(parent=default_firmware_registry())
         self.uc = MicroController(
             env, self.config_mem, self, registry, name=f"{name}.uc"
         )

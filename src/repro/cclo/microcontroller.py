@@ -55,14 +55,24 @@ FirmwareFn = Callable[["FirmwareContext", CollectiveArgs], Generator]
 
 
 class FirmwareRegistry:
-    """Opcode/algorithm -> firmware function table (the uC program store)."""
+    """Opcode/algorithm -> firmware function table (the uC program store).
 
-    def __init__(self):
+    A registry may *layer* over a shared read-only parent (the stock
+    firmware load-out): lookups fall through to the parent, while
+    ``register``/``update`` always write the local table.  Every node in a
+    large cluster then carries only its own runtime registrations instead
+    of a private copy of the full stock table.
+    """
+
+    __slots__ = ("_table", "_parent")
+
+    def __init__(self, parent: Optional["FirmwareRegistry"] = None):
         self._table: Dict[tuple, FirmwareFn] = {}
+        self._parent = parent
 
     def register(self, opcode: str, algorithm: str, fn: FirmwareFn) -> None:
         key = (opcode, algorithm)
-        if key in self._table:
+        if key in self:
             raise CcloError(f"firmware for {key} already loaded")
         self._table[key] = fn
 
@@ -71,18 +81,26 @@ class FirmwareRegistry:
         self._table[(opcode, algorithm)] = fn
 
     def lookup(self, opcode: str, algorithm: str) -> FirmwareFn:
-        try:
-            return self._table[(opcode, algorithm)]
-        except KeyError:
+        key = (opcode, algorithm)
+        fn = self._table.get(key)
+        if fn is None and self._parent is not None:
+            fn = self._parent._table.get(key)
+        if fn is None:
             raise CcloError(
                 f"no firmware for opcode {opcode!r} algorithm {algorithm!r}"
-            ) from None
+            )
+        return fn
 
     def algorithms_for(self, opcode: str) -> list:
-        return sorted(alg for (op, alg) in self._table if op == opcode)
+        keys = set(self._table)
+        if self._parent is not None:
+            keys.update(self._parent._table)
+        return sorted(alg for (op, alg) in keys if op == opcode)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._table
+        if key in self._table:
+            return True
+        return self._parent is not None and key in self._parent._table
 
 
 class FirmwareContext:

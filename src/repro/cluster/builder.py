@@ -102,6 +102,14 @@ class FpgaCluster:
         return self.env.now - start
 
 
+#: Node count at or above which ``peering="auto"`` defers RDMA queue-pair
+#: creation to first use.  QP exchange is a zero-sim-time control-plane
+#: step, so lazy creation is timing-identical; eager all-pairs setup is
+#: kept on small clusters purely because it front-loads configuration
+#: errors (the historical behaviour every existing test observes).
+LAZY_PEERING_THRESHOLD = 64
+
+
 def build_fpga_cluster(
     n_nodes: int,
     protocol: str = "rdma",
@@ -110,12 +118,18 @@ def build_fpga_cluster(
     env: Optional[Environment] = None,
     link_rate: float = units.gbps(100),
     topology_factory: Optional[Callable[[Environment], object]] = None,
+    peering: str = "auto",
 ) -> FpgaCluster:
     """Construct an ``n_nodes`` cluster with communicator 0 ready to use.
 
-    Session establishment (TCP) and queue-pair exchange (RDMA) are performed
-    eagerly, the way the host CCL driver initializes POEs before any
-    collective runs.
+    Session establishment (TCP) and queue-pair exchange (RDMA) are
+    performed the way the host CCL driver initializes POEs before any
+    collective runs.  ``peering`` controls the RDMA side: ``"eager"``
+    creates all n*(n-1) queue pairs up front, ``"lazy"`` creates each QP at
+    its first verb (timing-identical — QP exchange charges no simulated
+    time — but O(active peers) in memory), and ``"auto"`` switches to lazy
+    at ``LAZY_PEERING_THRESHOLD`` nodes.  TCP handshakes advance simulated
+    time and always run eagerly.
     """
     if n_nodes < 1:
         raise ConfigurationError(f"cluster needs at least 1 node, got {n_nodes}")
@@ -123,6 +137,8 @@ def build_fpga_cluster(
         raise ConfigurationError(f"unknown protocol {protocol!r}")
     if platform not in _PLATFORMS:
         raise ConfigurationError(f"unknown platform {platform!r}")
+    if peering not in ("auto", "eager", "lazy"):
+        raise ConfigurationError(f"unknown peering mode {peering!r}")
 
     env = env or Environment()
     if topology_factory is not None:
@@ -131,6 +147,10 @@ def build_fpga_cluster(
         topology = StarTopology(env, link_rate=link_rate)
     platform_cls = _PLATFORMS[platform]
     poe_cls = _POES[protocol]
+    # One read-only config object for the whole cluster: every engine's
+    # ConfigMemory references it instead of instantiating a private copy.
+    if cclo_config is None:
+        cclo_config = CcloConfig()
 
     nodes: List[FpgaNode] = []
     for rank in range(n_nodes):
@@ -152,7 +172,7 @@ def build_fpga_cluster(
             )
         )
 
-    _establish_peering(env, nodes, protocol)
+    _establish_peering(env, nodes, protocol, peering)
     cluster = FpgaCluster(env, nodes, topology, protocol)
     # Global observability (repro.obs.runtime.enable): no-op while disabled.
     auto_attach(cluster)
@@ -160,11 +180,18 @@ def build_fpga_cluster(
 
 
 def _establish_peering(env: Environment, nodes: List[FpgaNode],
-                       protocol: str) -> None:
-    """All-pairs session/QP setup, as the host drivers would perform."""
+                       protocol: str, peering: str = "auto") -> None:
+    """Session/QP setup, as the host drivers would perform."""
     if protocol == "udp":
         return
     if protocol == "rdma":
+        if peering == "auto":
+            peering = ("lazy" if len(nodes) >= LAZY_PEERING_THRESHOLD
+                       else "eager")
+        if peering == "lazy":
+            for node in nodes:
+                node.poe.enable_lazy_qp()
+            return
         for a in nodes:
             for b in nodes:
                 if a is not b:

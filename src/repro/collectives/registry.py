@@ -59,3 +59,20 @@ def install_default_firmware(registry: FirmwareRegistry) -> FirmwareRegistry:
     registry.register("alltoall", "linear", fw_alltoall_linear)
     registry.register("barrier", "dissemination", fw_barrier_dissemination)
     return registry
+
+
+_DEFAULT_REGISTRY: FirmwareRegistry = None
+
+
+def default_firmware_registry() -> FirmwareRegistry:
+    """The stock firmware table, built once and shared read-only.
+
+    Engines layer a small per-node :class:`FirmwareRegistry` on top of this
+    one (see ``FirmwareRegistry(parent=...)``), so per-node runtime
+    registrations stay isolated while the 18 stock entries exist exactly
+    once per process instead of once per node.
+    """
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = install_default_firmware(FirmwareRegistry())
+    return _DEFAULT_REGISTRY

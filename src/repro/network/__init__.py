@@ -12,6 +12,16 @@ from repro.network.packet import Segment
 from repro.network.link import Link
 from repro.network.switch import Switch
 from repro.network.endpoint import Endpoint
-from repro.network.topology import StarTopology
+from repro.network.topology import (
+    DragonflyTopology,
+    FabricTopology,
+    FatTreeTopology,
+    LeafSpineTopology,
+    StarTopology,
+)
 
-__all__ = ["Segment", "Link", "Switch", "Endpoint", "StarTopology"]
+__all__ = [
+    "Segment", "Link", "Switch", "Endpoint", "FabricTopology",
+    "StarTopology", "LeafSpineTopology", "FatTreeTopology",
+    "DragonflyTopology",
+]

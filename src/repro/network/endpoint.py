@@ -18,6 +18,10 @@ from repro.network.packet import Burst, Segment
 class Endpoint:
     """One fabric port with an address, an uplink and a downlink."""
 
+    __slots__ = ("env", "address", "name", "fidelity", "uplink",
+                 "_rx_handler", "_rx_burst_handler", "segments_sent",
+                 "segments_received")
+
     def __init__(self, env: Environment, address: int, name: str = ""):
         self.env = env
         self.address = address

@@ -34,6 +34,16 @@ class Link:
     #: pipelining error; protocol engines segment larger messages.
     MAX_SEGMENT_BYTES = 256 * units.KIB
 
+    # Large fabrics build thousands of links; a fixed attribute layout
+    # drops the per-instance __dict__.
+    __slots__ = (
+        "env", "rate", "latency", "name", "coalesce", "_pipe", "_sink",
+        "_burst_sink", "_burst_at_tail", "_last_owner", "_train",
+        "_train_prev", "_train_tail", "_intr_free", "_convoy",
+        "_convoy_token", "_relay", "segments_carried", "_in_flight",
+        "_pump_scheduled", "_span_tracer", "flow_decisions",
+    )
+
     def __init__(
         self,
         env: Environment,

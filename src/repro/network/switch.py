@@ -4,11 +4,21 @@ Forwarding is cut-through with a fixed port-to-port latency; contention shows
 up on the egress :class:`~repro.network.link.Link` of the destination port,
 which is exactly where in-cast congestion (the paper's motivation for
 tree-based reduce/gather at large sizes) materializes.
+
+Routing resolves in three stages, cheapest and most specific first:
+
+1. exact per-address entries (:meth:`Switch.attach` — the ports endpoints
+   hang off);
+2. *block* entries (:meth:`Switch.attach_block`) keyed by a resolver
+   function over the destination address — one route per downstream
+   leaf/pod/group instead of one per endpoint, which is what keeps route
+   tables O(ports) instead of O(endpoints) on spine/aggregation/core tiers;
+3. default routes, ECMP-balanced on a deterministic (src, dst) flow hash.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from repro.errors import NetworkError
 from repro.sim import Environment
@@ -20,6 +30,9 @@ from repro import units
 class Switch:
     """A single-stage switch: address -> egress link table."""
 
+    __slots__ = ("env", "forwarding_latency", "name", "_egress", "_blocks",
+                 "_resolver", "_default_routes", "segments_forwarded")
+
     def __init__(
         self,
         env: Environment,
@@ -30,12 +43,14 @@ class Switch:
         self.forwarding_latency = forwarding_latency
         self.name = name
         self._egress: Dict[int, Link] = {}
+        self._blocks: Dict[int, Link] = {}
+        self._resolver: Optional[Callable[[int], int]] = None
         self._default_routes: list = []
         self.segments_forwarded = 0
 
     @property
     def port_count(self) -> int:
-        return len(self._egress)
+        return len(self._egress) + len(self._blocks)
 
     def attach(self, address: int, egress: Link) -> None:
         """Register the egress link toward endpoint *address*."""
@@ -45,6 +60,23 @@ class Switch:
             )
         self._egress[address] = egress
 
+    def set_resolver(self, resolver: Callable[[int], int]) -> None:
+        """Install the address -> block-key mapping for block routes.
+
+        The resolver collapses whole address ranges onto one table entry
+        (e.g. ``addr // ports_per_leaf`` on a spine), so aggregation tiers
+        install O(downstream switches) routes, not O(endpoints).
+        """
+        self._resolver = resolver
+
+    def attach_block(self, key: int, egress: Link) -> None:
+        """Register the egress link for every address resolving to *key*."""
+        if key in self._blocks:
+            raise NetworkError(
+                f"switch {self.name!r}: block {key} already attached"
+            )
+        self._blocks[key] = egress
+
     def add_default_route(self, egress: Link) -> None:
         """Register an uplink used for addresses with no local entry.
 
@@ -53,16 +85,22 @@ class Switch:
         """
         self._default_routes.append(egress)
 
-    def ingress(self, segment: Segment) -> None:
-        """Entry point wired as the sink of every endpoint's uplink."""
-        egress = self._egress.get(segment.dst)
+    def _route(self, src: int, dst: int) -> Link:
+        egress = self._egress.get(dst)
+        if egress is None and self._resolver is not None:
+            egress = self._blocks.get(self._resolver(dst))
         if egress is None and self._default_routes:
-            flow = hash((segment.src, segment.dst))
+            flow = hash((src, dst))
             egress = self._default_routes[flow % len(self._default_routes)]
         if egress is None:
             raise NetworkError(
-                f"switch {self.name!r}: no route to address {segment.dst}"
+                f"switch {self.name!r}: no route to address {dst}"
             )
+        return egress
+
+    def ingress(self, segment: Segment) -> None:
+        """Entry point wired as the sink of every endpoint's uplink."""
+        egress = self._route(segment.src, segment.dst)
         self.segments_forwarded += 1
         self.env.schedule_callback(self.forwarding_latency, egress.send, segment)
 
@@ -74,14 +112,7 @@ class Switch:
         identical.  One forwarding callback replaces ``n_segments`` of them;
         the egress link decides whether the train stays analytic or expands.
         """
-        egress = self._egress.get(burst.dst)
-        if egress is None and self._default_routes:
-            flow = hash((burst.src, burst.dst))
-            egress = self._default_routes[flow % len(self._default_routes)]
-        if egress is None:
-            raise NetworkError(
-                f"switch {self.name!r}: no route to address {burst.dst}"
-            )
+        egress = self._route(burst.src, burst.dst)
         self.segments_forwarded += burst.n_segments
         Environment.total_events_fast_forwarded += burst.n_segments - 1
         self.env.schedule_callback(
@@ -94,6 +125,12 @@ class Switch:
         burst.head_at += latency
         burst.last_at += latency
         egress.send_burst(burst)
+
+    def iter_egress(self):
+        """Every distinct egress link this switch can forward onto."""
+        yield from self._egress.values()
+        yield from self._blocks.values()
+        yield from self._default_routes
 
     def __repr__(self) -> str:
         return f"<Switch {self.name!r} ports={self.port_count}>"

@@ -34,7 +34,7 @@ class RdmaOpcode(enum.Enum):
     WRITE = "write"
 
 
-@dataclass
+@dataclass(slots=True)
 class QueuePair:
     qp_num: int
     local_addr: int
@@ -69,6 +69,10 @@ class RdmaPoe(BasePoe):
         self._qp_nums = itertools.count(1)
         self._qps: Dict[int, QueuePair] = {}
         self._by_remote: Dict[int, QueuePair] = {}
+        self._lazy_qp = False
+        # One shared name for every QP's credit bucket: large clusters
+        # create many QPs and per-QP f-strings are pure construction cost.
+        self._credit_name = f"{self.name}.crd"
         self._memory_writer: Optional[
             Callable[[MessageHeader, Any], Event]
         ] = None
@@ -82,6 +86,17 @@ class RdmaPoe(BasePoe):
     @property
     def qp_count(self) -> int:
         return len(self._qps)
+
+    def enable_lazy_qp(self) -> None:
+        """Create queue pairs on first use instead of up front.
+
+        QP exchange is an out-of-band, zero-sim-time control-plane step
+        (see :meth:`create_qp`), so deferring it to the first verb toward a
+        peer is timing-identical to eager all-pairs setup — but a node that
+        talks to k peers allocates k QPs instead of n-1, which is what
+        makes 1000-node clusters buildable.
+        """
+        self._lazy_qp = True
 
     def create_qp(self, remote_addr: int) -> QueuePair:
         """Create (or return) the queue pair toward *remote_addr*.
@@ -97,7 +112,8 @@ class RdmaPoe(BasePoe):
             qp_num=next(self._qp_nums),
             local_addr=self.address,
             remote_addr=remote_addr,
-            credits=TokenBucket(self.env, self.credit_bytes, name=f"{self.name}.crd"),
+            credits=TokenBucket(self.env, self.credit_bytes,
+                                name=self._credit_name),
         )
         self._qps[qp.qp_num] = qp
         self._by_remote[remote_addr] = qp
@@ -106,6 +122,8 @@ class RdmaPoe(BasePoe):
     def qp_to(self, remote_addr: int) -> QueuePair:
         qp = self._by_remote.get(remote_addr)
         if qp is None:
+            if self._lazy_qp and remote_addr != self.address:
+                return self.create_qp(remote_addr)
             raise ProtocolError(
                 f"{self.name}: no queue pair to address {remote_addr}; "
                 "exchange QPs during communicator setup first"

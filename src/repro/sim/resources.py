@@ -19,6 +19,8 @@ from repro.sim.kernel import Environment, Event
 class Resource:
     """A counted resource with FIFO queueing (e.g. DMA engines, QP slots)."""
 
+    __slots__ = ("env", "capacity", "name", "_in_use", "_waiters")
+
     def __init__(self, env: Environment, capacity: int = 1, name: str = "resource"):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -68,6 +70,9 @@ class BandwidthResource:
     ``per_transfer_overhead`` each — exactly the behaviour that produces the
     classic throughput-vs-message-size ramp of Figure 7.
     """
+
+    __slots__ = ("env", "rate", "overhead", "name", "_free_at", "_busy_time",
+                 "_bytes_moved", "_busy_intervals")
 
     def __init__(
         self,
@@ -187,6 +192,8 @@ class TokenBucket:
     the sophisticated rendezvous algorithms; TCP's window plays a similar
     role.  This primitive backs both.
     """
+
+    __slots__ = ("env", "capacity", "name", "_available", "_waiters")
 
     def __init__(self, env: Environment, tokens: int, name: str = "tokens",
                  initial: Optional[int] = None):

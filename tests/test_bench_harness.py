@@ -98,7 +98,8 @@ class TestCli:
 
     def test_artifact_registry_covers_all_figures(self):
         expected = {"fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
-                    "fig13", "fig16", "fig17", "tab01", "tab02", "tab03"}
+                    "fig13", "fig16", "fig17", "figX_scale",
+                    "tab01", "tab02", "tab03"}
         assert set(ARTIFACTS) == expected
 
     def test_tab02_regenerates_dlrm_config(self, capsys):

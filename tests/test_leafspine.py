@@ -101,6 +101,72 @@ class TestFabric:
         assert all(load > 0 for load in loads)
 
 
+class TestEdgeCases:
+    def test_lazy_leaf_growth_beyond_initial_leaf(self):
+        """Leaves materialize on demand, including skipped intermediates."""
+        env, topo = make_topo(ports_per_leaf=4)
+        topo.add_endpoint(0)
+        assert len(topo._leaves) == 1
+        far = topo.add_endpoint(9)       # leaf 2: leaf 1 materializes too
+        assert len(topo._leaves) == 3
+        got = []
+        far.on_receive(lambda seg: got.append(seg.src))
+        topo.endpoint(0).send(Segment(0, 9, payload_bytes=1024))
+        env.run()
+        assert got == [0]
+
+    def test_single_spine_single_port_degenerate_fabric(self):
+        """ports_per_leaf=1, n_spines=1: every hop is cross-leaf, one path."""
+        env, topo = make_topo(ports_per_leaf=1, n_spines=1)
+        a = topo.add_endpoint(0)
+        b = topo.add_endpoint(1)
+        got = []
+        a.on_receive(lambda seg: got.append(("a", seg.src)))
+        b.on_receive(lambda seg: got.append(("b", seg.src)))
+        a.send(Segment(0, 1, payload_bytes=512))
+        b.send(Segment(1, 0, payload_bytes=512))
+        env.run()
+        assert sorted(got) == [("a", 1), ("b", 0)]
+        assert topo._spines[0].segments_forwarded == 2
+
+    def test_single_endpoint_fabric(self):
+        env, topo = make_topo(ports_per_leaf=1, n_spines=1)
+        topo.add_endpoint(0)
+        assert topo.endpoints[0].address == 0
+
+    def test_ecmp_spine_choice_is_deterministic_across_builds(self):
+        """The flow hash is address arithmetic, not id()/PYTHONHASHSEED:
+        rebuilding the fabric reproduces the exact per-spine loads."""
+        def spine_loads():
+            env, topo = make_topo(ports_per_leaf=2, n_spines=4)
+            eps = [topo.add_endpoint(a) for a in range(8)]
+            for ep in eps:
+                ep.on_receive(lambda seg: None)
+            for src in range(4):
+                for dst in range(4, 8):
+                    eps[src].send(Segment(src, dst, payload_bytes=2048))
+            env.run()
+            return [sp.segments_forwarded for sp in topo._spines]
+
+        first = spine_loads()
+        assert sum(first) == 16
+        assert first == spine_loads()
+
+    def test_oversubscribed_uplinks_slow_cross_leaf_flows(self):
+        def cross_leaf_time(factor):
+            env, topo = make_topo(ports_per_leaf=2, n_spines=1,
+                                  oversubscription=factor)
+            a = topo.add_endpoint(0)
+            b = topo.add_endpoint(2)
+            got = []
+            b.on_receive(lambda seg: got.append(env.now))
+            a.send(Segment(0, 2, payload_bytes=256 * units.KIB))
+            env.run()
+            return got[0]
+
+        assert cross_leaf_time(4.0) > cross_leaf_time(1.0)
+
+
 class TestCollectivesOverClos:
     def test_allreduce_across_leaves(self):
         """A full CCLO collective over the two-tier fabric."""

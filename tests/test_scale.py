@@ -1,0 +1,264 @@
+"""Large-fabric topologies and 1000-node-class cluster scale.
+
+Covers the tentpole of the scale PR: fat-tree and dragonfly builders
+(structure, routing correctness, oversubscription), memory-lean
+construction at 1024 nodes, and the flow-fidelity allreduce that the
+``bench profile scale`` report commits to ``BENCH_results.json``.
+"""
+
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.cclo.microcontroller import CollectiveArgs
+from repro.cluster import build_fpga_cluster
+from repro.cluster.builder import LAZY_PEERING_THRESHOLD
+from repro.errors import NetworkError
+from repro.network import Segment
+from repro.network.fidelity import fidelity_override
+from repro.network.topology import DragonflyTopology, FatTreeTopology
+from repro.sim import Environment
+from tests.helpers import dev_buffer, empty_dev_buffer
+
+
+class TestFatTree:
+    def test_geometry(self):
+        env = Environment()
+        topo = FatTreeTopology(env, k=4)
+        assert topo.capacity == 16
+        assert topo.pod_of(0) == 0 and topo.pod_of(4) == 1
+        assert topo.edge_of(0) == 0 and topo.edge_of(2) == 1
+
+    def test_odd_arity_rejected(self):
+        with pytest.raises(NetworkError):
+            FatTreeTopology(Environment(), k=3)
+
+    def test_capacity_enforced(self):
+        env = Environment()
+        topo = FatTreeTopology(env, k=2)  # 2 hosts
+        topo.add_endpoint(0)
+        topo.add_endpoint(1)
+        with pytest.raises(NetworkError):
+            topo.add_endpoint(2)
+
+    def test_lazy_pod_growth(self):
+        env = Environment()
+        topo = FatTreeTopology(env, k=4)
+        topo.add_endpoint(0)
+        assert len(topo._pods) == 1
+        topo.add_endpoint(12)  # pod 3: intermediate pods materialize too
+        assert len(topo._pods) == 4
+
+    def test_all_pair_reachability(self):
+        """Every (src, dst) pair routes: same-edge, same-pod, cross-pod."""
+        env = Environment()
+        topo = FatTreeTopology(env, k=4)
+        eps = [topo.add_endpoint(a) for a in range(16)]
+        got = []
+        for ep in eps:
+            ep.on_receive(lambda seg: got.append((seg.src, seg.dst)))
+        expected = []
+        for src in range(16):
+            for dst in range(16):
+                if src != dst:
+                    eps[src].send(Segment(src, dst, payload_bytes=64))
+                    expected.append((src, dst))
+        env.run()
+        assert sorted(got) == sorted(expected)
+
+    def test_path_latency_ordering(self):
+        """Cross-pod > same-pod > same-edge delivery latency."""
+        def latency(dst):
+            env = Environment()
+            topo = FatTreeTopology(env, k=4)
+            src = topo.add_endpoint(0)
+            ep = topo.add_endpoint(dst)
+            got = []
+            ep.on_receive(lambda seg: got.append(env.now))
+            src.send(Segment(0, dst, payload_bytes=64))
+            env.run()
+            return got[0]
+
+        same_edge, same_pod, cross_pod = latency(1), latency(2), latency(4)
+        assert same_edge < same_pod < cross_pod
+        env = Environment()
+        topo = FatTreeTopology(env, k=4)
+        assert (topo.one_way_base_latency("edge")
+                < topo.one_way_base_latency("agg")
+                < topo.one_way_base_latency("core"))
+
+    def test_ecmp_is_deterministic(self):
+        """Same flows on a rebuilt fabric hit the same core switches."""
+        def core_loads():
+            env = Environment()
+            topo = FatTreeTopology(env, k=4)
+            eps = [topo.add_endpoint(a) for a in range(16)]
+            for ep in eps:
+                ep.on_receive(lambda seg: None)
+            for src in range(8):
+                for dst in range(8, 16):
+                    eps[src].send(Segment(src, dst, payload_bytes=1024))
+            env.run()
+            return [core.segments_forwarded for core in topo._cores]
+
+        first = core_loads()
+        assert sum(first) > 0
+        assert first == core_loads()
+
+    def test_oversubscription_slows_cross_pod_transfers(self):
+        def cross_pod_time(factor):
+            env = Environment()
+            topo = FatTreeTopology(env, k=4, oversubscription=factor)
+            a = topo.add_endpoint(0)
+            b = topo.add_endpoint(4)
+            got = []
+            b.on_receive(lambda seg: got.append(env.now))
+            a.send(Segment(0, 4, payload_bytes=256 * units.KIB))
+            env.run()
+            return got[0]
+
+        assert cross_pod_time(4.0) > cross_pod_time(1.0)
+
+    def test_allreduce_on_fat_tree(self):
+        """Numeric correctness of a CCLO collective across pods."""
+        size = 8
+        cluster = build_fpga_cluster(
+            size, protocol="rdma", platform="sim",
+            topology_factory=lambda env: FatTreeTopology(env, k=4))
+        n = 128
+        contribs = [np.full(n, float(r + 1), np.float32)
+                    for r in range(size)]
+        svs = [dev_buffer(cluster, r, contribs[r]) for r in range(size)]
+        rvs = [empty_dev_buffer(cluster, r, n) for r in range(size)]
+        cluster.run_collective(lambda r: CollectiveArgs(
+            opcode="allreduce", nbytes=contribs[0].nbytes, sbuf=svs[r],
+            rbuf=rvs[r]))
+        expected = np.sum(contribs, axis=0)
+        for r in range(size):
+            np.testing.assert_allclose(rvs[r].array, expected)
+
+
+class TestDragonfly:
+    def test_geometry(self):
+        env = Environment()
+        topo = DragonflyTopology(env, routers_per_group=4, hosts_per_router=4,
+                                 global_links_per_router=2)
+        assert topo.max_groups == 9
+        assert topo.capacity == 9 * 16
+        assert topo.group_of(0) == 0 and topo.group_of(16) == 1
+        assert topo.router_of(5) == 1
+
+    def test_gateway_assignment_is_symmetric_channel(self):
+        env = Environment()
+        topo = DragonflyTopology(env, routers_per_group=4, hosts_per_router=4,
+                                 global_links_per_router=2)
+        seen = set()
+        for g in range(topo.max_groups):
+            for other in range(topo.max_groups):
+                if other == g:
+                    continue
+                router, port = topo._gateway(g, other)
+                assert 0 <= router < 4 and 0 <= port < 2
+                seen.add((g, router, port))
+        # palmtree assignment: every (group, router, port) used exactly once
+        assert len(seen) == topo.max_groups * (topo.max_groups - 1)
+
+    def test_all_pair_reachability(self):
+        """Local, intra-group, and global minimal routes all deliver."""
+        env = Environment()
+        topo = DragonflyTopology(env, routers_per_group=2, hosts_per_router=2,
+                                 global_links_per_router=1)  # 3 groups, 12
+        n = topo.capacity
+        eps = [topo.add_endpoint(a) for a in range(n)]
+        got = []
+        for ep in eps:
+            ep.on_receive(lambda seg: got.append((seg.src, seg.dst)))
+        expected = []
+        for src in range(n):
+            for dst in range(n):
+                if src != dst:
+                    eps[src].send(Segment(src, dst, payload_bytes=64))
+                    expected.append((src, dst))
+        env.run()
+        assert sorted(got) == sorted(expected)
+
+    def test_capacity_enforced(self):
+        env = Environment()
+        topo = DragonflyTopology(env, routers_per_group=2, hosts_per_router=2,
+                                 global_links_per_router=1)
+        with pytest.raises(NetworkError):
+            topo.add_endpoint(topo.capacity)
+
+    def test_scope_latency_ordering(self):
+        env = Environment()
+        topo = DragonflyTopology(env)
+        assert (topo.one_way_base_latency("router")
+                < topo.one_way_base_latency("group")
+                < topo.one_way_base_latency("global"))
+
+    def test_allreduce_on_dragonfly(self):
+        size = 8
+        cluster = build_fpga_cluster(
+            size, protocol="rdma", platform="sim",
+            topology_factory=lambda env: DragonflyTopology(
+                env, routers_per_group=2, hosts_per_router=2,
+                global_links_per_router=1))
+        n = 128
+        contribs = [np.full(n, float(r + 1), np.float32)
+                    for r in range(size)]
+        svs = [dev_buffer(cluster, r, contribs[r]) for r in range(size)]
+        rvs = [empty_dev_buffer(cluster, r, n) for r in range(size)]
+        cluster.run_collective(lambda r: CollectiveArgs(
+            opcode="allreduce", nbytes=contribs[0].nbytes, sbuf=svs[r],
+            rbuf=rvs[r]))
+        expected = np.sum(contribs, axis=0)
+        for r in range(size):
+            np.testing.assert_allclose(rvs[r].array, expected)
+
+
+class TestThousandNodeScale:
+    """The headline acceptance numbers: 1024 hosts, lean and fast."""
+
+    def test_1024_node_fattree_builds_fast_and_lean(self):
+        tracemalloc.start()
+        base, _ = tracemalloc.get_traced_memory()
+        t0 = time.perf_counter()
+        cluster = build_fpga_cluster(
+            1024, protocol="rdma", platform="coyote",
+            topology_factory=lambda env: FatTreeTopology(env, k=16))
+        build_s = time.perf_counter() - t0
+        built, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        bytes_per_node = (built - base) / 1024
+        assert cluster.size == 1024
+        assert build_s < 10.0, f"1024-node build took {build_s:.1f}s"
+        # pre-refactor footprint was ~300 KiB/node at only 256 nodes
+        assert bytes_per_node < 100 * 1024, \
+            f"{bytes_per_node / 1024:.0f} KiB/node"
+
+    def test_1024_node_allreduce_completes_in_flow_fidelity(self):
+        from repro.bench.harness import accl_collective_time
+
+        with fidelity_override("flow"):
+            factory = lambda env: FatTreeTopology(env, k=16)  # noqa: E731
+            elapsed = accl_collective_time(
+                "allreduce", 256 * units.KIB, n_nodes=1024,
+                sync_protocol="rndz", algorithm="reduce_bcast",
+                cluster_builder=lambda n, **kw: build_fpga_cluster(
+                    n, topology_factory=factory, peering="lazy", **kw))
+        assert elapsed > 0
+
+    def test_auto_peering_goes_lazy_at_threshold(self):
+        small = build_fpga_cluster(4, protocol="rdma", platform="sim")
+        assert not small.nodes[0].poe._lazy_qp
+        big = build_fpga_cluster(
+            LAZY_PEERING_THRESHOLD, protocol="rdma", platform="sim",
+            topology_factory=lambda env: FatTreeTopology(env, k=8))
+        assert big.nodes[0].poe._lazy_qp
+        # lazy POEs materialize queue pairs on first use
+        assert not big.nodes[0].poe._qps
+        qp = big.nodes[0].poe.qp_to(1)
+        assert qp is big.nodes[0].poe.qp_to(1)
