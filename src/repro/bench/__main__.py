@@ -14,9 +14,12 @@ Usage::
     python -m repro.bench profile kernel
     python -m repro.bench trace fig08 --trace-out trace.json
     python -m repro.bench critpath fig07 --flamegraph-out flame.txt
+    python -m repro.bench critpath figX_scale --per-node \\
+        --arg n_nodes=256 --arg slow_link=fpga17.down
     python -m repro.bench check
     python -m repro.bench check fig07 --update
-    python -m repro.bench check --fidelity flow
+    python -m repro.bench check --fidelity flow --json check_report.json
+    python -m repro.bench diff BENCH_ledger.json new_ledger.json --html d.html
     python -m repro.bench dashboard fig07 --out fig07_dashboard.html
     python -m repro.bench validate-fidelity fig07 --explain
 
@@ -31,7 +34,12 @@ Options::
     --no-cache    disable the cache for this run
     --json OUT    write the per-point trajectory (wall-clock, simulated
                   time, event counts) to OUT; ``all`` writes
-                  BENCH_results.json by default
+                  BENCH_results.json by default.  A per-op latency ledger
+                  (histograms keyed by artifact/collective/size/algorithm/
+                  nprocs/fidelity; see ``bench diff``) is persisted to a
+                  sibling ``*_ledger.json``, and its summary stats (op
+                  count, p50/p99 per artifact) land in the trajectory's
+                  ``ledger`` section
     --profile-out PATH
                   run under cProfile and dump pstats to PATH
                   (inspect with ``python -m pstats PATH``)
@@ -77,6 +85,9 @@ Options::
     --metrics-out PATH         write the metrics registry as CSV
     --json OUT                 write the per-op phase breakdowns as JSON
     --flamegraph-out PATH      write collapsed-stack flamegraph lines
+    --arg KEY=VALUE            pass a scenario kwarg (repeatable); e.g.
+                               ``--arg n_nodes=64 --arg slow_link=fpga5.down``
+                               throttles matching links on figX_scale
 
 ``critpath`` mode (see :mod:`repro.obs.critpath`)::
 
@@ -85,8 +96,15 @@ Options::
                                per-wait-cause totals; the cause totals
                                reconcile exactly against the phase buckets
                                and the op's wall sim-time
+    --per-node                 instead of per-op paths, aggregate busy /
+                               blocked / critical-path time per node and
+                               per link, rank the top-k slowest and flag
+                               z-score stragglers (find the slow node in a
+                               256-node fabric)
     --json OUT                 write the critical-path reports as JSON
+                               (plus the per-node report with --per-node)
     --flamegraph-out PATH      write collapsed-stack flamegraph lines
+    --arg KEY=VALUE            scenario kwargs, as in trace mode
 
 ``check`` mode (see :mod:`repro.bench.check`)::
 
@@ -101,6 +119,21 @@ Options::
     --fidelity MODE            collect and compare under MODE
                                (``packet``/``flow``; default ``packet``);
                                the baseline stores one section per mode
+    --json OUT                 write a machine-readable report (per-metric
+                               observed/baseline/tolerance/verdict); on a
+                               failure the causal diff of the failing
+                               scenario's wait/phase metrics also prints
+
+``diff`` mode (see :mod:`repro.obs.diff`)::
+
+    diff <a.json> <b.json>     compare two saved runs — op ledgers
+                               (``BENCH_ledger.json``) or trace/critpath
+                               JSONs — and print a delta table ranked by
+                               regression magnitude, each row attributed
+                               to the wait-cause/phase buckets that moved;
+                               identical runs report zero deltas
+    --json OUT                 write the full diff document
+    --html OUT                 write the ranked table as a standalone page
 
 ``dashboard`` mode (see :mod:`repro.obs.dashboard`)::
 
@@ -115,6 +148,10 @@ Options::
                                ``<artifact>_dashboard.html``)
     --fidelity MODE            render under ``packet`` or ``flow``
                                (default: the active ``$REPRO_FIDELITY``)
+    --diff RUN.json            diff the saved ledger/trace RUN.json against
+                               this run and embed the ranked delta table
+                               as a "Differential vs baseline" section
+    --arg KEY=VALUE            scenario kwargs, as in trace mode
 
 ``validate-fidelity`` mode (see :mod:`repro.bench.validate`)::
 
@@ -310,7 +347,23 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--per-node", action="store_true",
                         help="profile scale: report construction bytes per "
                              "node and record the scale block in "
-                             f"{DEFAULT_JSON_OUT}")
+                             f"{DEFAULT_JSON_OUT}; critpath mode: per-node/"
+                             "per-link outlier attribution with z-score "
+                             "straggler flagging")
+    parser.add_argument("--arg", action="append", dest="scenario_args",
+                        default=None, metavar="KEY=VALUE",
+                        help="trace/critpath/dashboard mode: pass a scenario "
+                             "kwarg (repeatable), e.g. --arg n_nodes=256 "
+                             "--arg slow_link=fpga5.down")
+    parser.add_argument("--html", dest="html_out", default=None,
+                        metavar="PATH",
+                        help="diff mode: write the ranked delta table as a "
+                             "standalone HTML page")
+    parser.add_argument("--diff", dest="diff_path", default=None,
+                        metavar="PATH",
+                        help="dashboard mode: diff this saved ledger/trace "
+                             "JSON against the rendered run and embed the "
+                             "ranked delta table as a section")
     parser.add_argument("--obs", action="store_true",
                         help="profile mode: measure observability overhead")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
@@ -497,6 +550,34 @@ def _validate_main(args) -> int:
     return 0
 
 
+def _scenario_kwargs(pairs) -> dict:
+    """Parse repeated ``--arg key=value`` into scenario kwargs; values
+    that parse as int/float are coerced, everything else stays a string."""
+    kwargs: dict = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--arg wants KEY=VALUE, got {pair!r}")
+        for cast in (int, float):
+            try:
+                value = cast(value)
+                break
+            except ValueError:
+                continue
+        kwargs[key] = value
+    return kwargs
+
+
+def _warn_dropped(cap) -> None:
+    """Satellite of the incomplete-attribution fix: dropped spans no
+    longer vanish silently — every CLI consumer says so."""
+    dropped = cap.tracer.spans_dropped
+    if dropped:
+        print(f"warning: {dropped} span(s) dropped at ring-buffer "
+              "capacity — attribution totals are INCOMPLETE (raise the "
+              "tracer capacity or shrink the scenario)", file=sys.stderr)
+
+
 def _trace_main(args) -> int:
     from repro.obs import capture
     from repro.obs.export import (metrics_to_csv, render_phase_table,
@@ -504,15 +585,18 @@ def _trace_main(args) -> int:
 
     if len(args.names) != 2:
         print("usage: python -m repro.bench trace <artifact> "
-              "[--trace-out PATH] [--metrics-out PATH]", file=sys.stderr)
+              "[--trace-out PATH] [--metrics-out PATH] [--arg KEY=VALUE]",
+              file=sys.stderr)
         print("traceable:", ", ".join(capture.traceable_artifacts()),
               file=sys.stderr)
         return 2
     try:
-        cap = capture.trace_artifact(args.names[1])
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
+        cap = capture.trace_artifact(args.names[1],
+                                     **_scenario_kwargs(args.scenario_args))
+    except (KeyError, ValueError, TypeError) as exc:
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
         return 2
+    _warn_dropped(cap)
 
     print(f"trace {cap.artifact}: {cap.description}")
     summary = cap.obs.summary()
@@ -549,30 +633,42 @@ def _trace_main(args) -> int:
 
 def _critpath_main(args) -> int:
     from repro.obs import capture
-    from repro.obs.critpath import (critical_path, render_critpath,
+    from repro.obs.critpath import (critical_path, per_node_report,
+                                    render_critpath, render_per_node,
                                     write_flamegraph)
 
     if len(args.names) != 2:
         print("usage: python -m repro.bench critpath <artifact> "
-              "[--json OUT] [--flamegraph-out PATH]", file=sys.stderr)
+              "[--per-node] [--json OUT] [--flamegraph-out PATH] "
+              "[--arg KEY=VALUE]", file=sys.stderr)
         print("traceable:", ", ".join(capture.traceable_artifacts()),
               file=sys.stderr)
         return 2
     try:
-        cap = capture.trace_artifact(args.names[1])
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
+        cap = capture.trace_artifact(args.names[1],
+                                     **_scenario_kwargs(args.scenario_args))
+    except (KeyError, ValueError, TypeError) as exc:
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
         return 2
+    _warn_dropped(cap)
 
     print(f"critpath {cap.artifact}: {cap.description}")
     print()
     reports = [critical_path(cap.tracer, op) for op in cap.op_ids]
-    for report in reports:
-        print(render_critpath(report))
+    per_node = None
+    if args.per_node:
+        per_node = per_node_report(cap.tracer, cap.op_ids)
+        print(render_per_node(per_node))
         print()
+    else:
+        for report in reports:
+            print(render_critpath(report))
+            print()
     if args.json_out:
         doc = {"artifact": cap.artifact, "description": cap.description,
                "ops": reports}
+        if per_node is not None:
+            doc["per_node"] = per_node
         with open(args.json_out, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
         print(f"wrote {len(reports)} critical-path reports to "
@@ -623,13 +719,55 @@ def _check_main(args) -> int:
         }
     rows = check_mod.compare(baseline, current, default_tol=args.tolerance)
     print(check_mod.render_check_table(rows))
+    if args.json_out:
+        report = check_mod.report_doc(rows, fidelity, baseline_path)
+        with open(args.json_out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote check report ({len(rows)} metrics) to "
+              f"{args.json_out}", file=sys.stderr)
     bad = check_mod.violations(rows)
     if bad:
+        from repro.obs.diff import render_check_attribution
+
+        print("causal attribution of failing scenario(s):", file=sys.stderr)
+        for scenario in sorted({row["scenario"] for row in bad}):
+            base_m = baseline["scenarios"].get(scenario) or {}
+            cur_m = current["scenarios"].get(scenario) or {}
+            print(render_check_attribution(scenario, base_m, cur_m),
+                  file=sys.stderr)
         print(f"REGRESSION: {len(bad)} metric(s) out of tolerance "
               f"[{fidelity}] (baseline: {baseline_path})", file=sys.stderr)
         return 1
     print(f"check ok: {len(rows)} metrics within tolerance "
           f"[{fidelity}] (baseline: {baseline_path})")
+    return 0
+
+
+def _diff_main(args) -> int:
+    """``bench diff <a> <b>``: ranked regression deltas between two runs."""
+    from repro.obs.diff import diff_files, render_diff, render_diff_html
+
+    paths = args.names[1:]
+    if len(paths) != 2:
+        print("usage: python -m repro.bench diff <a.json> <b.json> "
+              "[--json OUT] [--html OUT]  (a/b: saved ledgers or "
+              "trace/critpath JSONs)", file=sys.stderr)
+        return 2
+    try:
+        doc = diff_files(paths[0], paths[1])
+    except (OSError, ValueError) as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+    print(render_diff(doc))
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"wrote diff ({len(doc['rows'])} deltas) to {args.json_out}",
+              file=sys.stderr)
+    if args.html_out:
+        with open(args.html_out, "w") as fh:
+            fh.write(render_diff_html(doc, standalone=True))
+        print(f"wrote diff HTML to {args.html_out}", file=sys.stderr)
     return 0
 
 
@@ -641,7 +779,8 @@ def _dashboard_main(args) -> int:
 
     if len(args.names) != 2:
         print("usage: python -m repro.bench dashboard <artifact> "
-              "[--out PATH] [--fidelity MODE]", file=sys.stderr)
+              "[--out PATH] [--fidelity MODE] [--diff RUN.json] "
+              "[--arg KEY=VALUE]", file=sys.stderr)
         print("traceable:", ", ".join(capture.traceable_artifacts()),
               file=sys.stderr)
         return 2
@@ -649,11 +788,35 @@ def _dashboard_main(args) -> int:
     fidelity = args.fidelity or default_fidelity()
     try:
         with fidelity_override(fidelity):
-            cap = capture.trace_artifact(name, telemetry=units.us(10))
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
+            cap = capture.trace_artifact(
+                name, telemetry=units.us(10),
+                **_scenario_kwargs(args.scenario_args))
+    except (KeyError, ValueError, TypeError) as exc:
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
         return 2
-    html = render_dashboard(cap, fidelity=fidelity)
+    diff_doc = None
+    if args.diff_path:
+        from repro.obs.diff import diff_runs, load_run, normalize_run
+
+        try:
+            base = load_run(args.diff_path)
+        except (OSError, ValueError) as exc:
+            print(f"--diff: {exc}", file=sys.stderr)
+            return 2
+        # Shape the current run like the baseline so entry keys line up:
+        # trace docs key ops by name#occurrence, ledgers by population.
+        if base["kind"] == "ledger":
+            cur_doc = cap.ledger(fidelity=fidelity).snapshot()
+        else:
+            cur_doc = {"artifact": cap.artifact, "ops": cap.breakdowns()}
+        cur = normalize_run(cur_doc, label=f"{name} (this run)")
+        rows = diff_runs(base, cur)
+        diff_doc = {"schema": 1, "a": args.diff_path,
+                    "b": f"{name} (this run)", "kind": base["kind"],
+                    "entries_a": len(base["entries"]),
+                    "entries_b": len(cur["entries"]),
+                    "rows": rows, "identical": not rows}
+    html = render_dashboard(cap, fidelity=fidelity, diff_doc=diff_doc)
     out = args.out or f"{name}_dashboard.html"
     with open(out, "w") as fh:
         fh.write(html)
@@ -739,6 +902,8 @@ def main(argv=None) -> int:
         return _critpath_main(args)
     if args.names[0] == "check":
         return _check_main(args)
+    if args.names[0] == "diff":
+        return _diff_main(args)
     if args.names[0] == "dashboard":
         return _dashboard_main(args)
     if args.names[0] == "validate-fidelity":
@@ -801,9 +966,12 @@ def main(argv=None) -> int:
         json_out = f"BENCH_shard{shard[0]}of{shard[1]}.json"
     if json_out:
         from repro.bench.profile import perf_section
+        from repro.obs.ledger import ledger_path_for
 
         history = _perf_history(json_out)
         trajectory = runner.trajectory(include_values=shard is not None)
+        ledger = runner.ledger()
+        trajectory["ledger"] = ledger.summary()
         trajectory["cli"] = {
             "artifacts": names,
             "wall_s": wall,
@@ -827,6 +995,12 @@ def main(argv=None) -> int:
             json.dump(trajectory, fh, indent=2, sort_keys=True)
         print(f"wrote trajectory for {len(runner.records)} points "
               f"to {json_out}", file=sys.stderr)
+        if ledger.ops:
+            ledger_out = ledger_path_for(json_out)
+            ledger.save(ledger_out)
+            print(f"wrote op ledger ({ledger.ops} ops, "
+                  f"{len(ledger.entries)} entries) to {ledger_out}",
+                  file=sys.stderr)
     if run_all:
         events = sum(r.events for r in runner.records if not r.cached)
         events_ff = sum(r.events_ff for r in runner.records if not r.cached)

@@ -168,6 +168,34 @@ def violations(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     return [row for row in rows if not row["ok"]]
 
 
+def report_doc(rows: List[Dict[str, Any]], fidelity: str,
+               baseline_path: str) -> Dict[str, Any]:
+    """Machine-readable check report (``bench check --json``): one record
+    per compared metric with observed/baseline/tolerance/verdict, so CI
+    can annotate failures without parsing the rendered table."""
+    bad = violations(rows)
+    return {
+        "schema": 1,
+        "fidelity": fidelity,
+        "baseline": baseline_path,
+        "ok": not bad,
+        "violations": len(bad),
+        "metrics": [
+            {
+                "scenario": row["scenario"],
+                "metric": row["metric"],
+                "observed": row["cur"],
+                "baseline": row["base"],
+                "rel": row["rel"],
+                "tolerance": row["tol"],
+                "verdict": "ok" if row["ok"] else "fail",
+                "note": row["note"],
+            }
+            for row in rows
+        ],
+    }
+
+
 def render_check_table(rows: List[Dict[str, Any]]) -> str:
     """Fixed-width diff table; regressions are flagged with ``FAIL``."""
     lines = [f"{'scenario':<10} {'metric':<36} {'baseline':>14} "

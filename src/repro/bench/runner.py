@@ -307,6 +307,15 @@ class SweepRunner:
         """Convenience for single-point artifacts (tables, DLRM)."""
         return self.run([point])[0]
 
+    def ledger(self, fidelity: Optional[str] = None):
+        """The run's per-op latency ledger (:class:`repro.obs.ledger.
+        OpLedger`): one histogram observation per collective sweep point.
+        Cached/sharded/merged records carry the same values as fresh ones,
+        so any execution plan yields an identical ledger."""
+        from repro.obs.ledger import ledger_from_records
+
+        return ledger_from_records(self.records, fidelity=fidelity)
+
     def trajectory(self, include_values: bool = False) -> Dict[str, Any]:
         """The machine-readable run summary (``BENCH_results.json``).
 

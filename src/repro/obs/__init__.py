@@ -17,7 +17,12 @@ The simulation platform exists to shorten "hardware debugging cycles"
   sim-time-cadenced registry snapshots (JSONL / Prometheus / Chrome
   counter exports, merged across pooled sweep workers);
 - :mod:`repro.obs.dashboard` — a self-contained HTML report over one
-  traced artifact (``bench dashboard``).
+  traced artifact (``bench dashboard``);
+- :mod:`repro.obs.ledger` — :class:`OpLedger`, per-op latency histograms
+  + wait-cause vectors keyed by (artifact, collective, size, algorithm,
+  nprocs, fidelity), mergeable like registries across shards/workers;
+- :mod:`repro.obs.diff` — differential comparison of two runs with
+  ranked regression attribution (``bench diff``).
 
 Everything is opt-in: with no registry and no tracer attached (the
 default), instrumented components pay at most a ``None`` check.  Enable
@@ -46,9 +51,27 @@ from repro.obs.export import (
 from repro.obs.critpath import (
     blocking_dag,
     critical_path,
+    per_node_report,
     render_critpath,
+    render_per_node,
     to_collapsed_stacks,
     write_flamegraph,
+)
+from repro.obs.ledger import (
+    LedgerEntry,
+    OpLedger,
+    entry_key,
+    ledger_from_records,
+    ledger_path_for,
+)
+from repro.obs.diff import (
+    diff_files,
+    diff_runs,
+    load_run,
+    metric_delta_attribution,
+    render_check_attribution,
+    render_diff,
+    render_diff_html,
 )
 from repro.obs.runtime import (
     Observability,
@@ -67,7 +90,12 @@ __all__ = [
     "validate_chrome_trace", "write_chrome_trace", "metrics_to_csv",
     "attribute_op", "phase_breakdown", "render_phase_table",
     "critical_path", "blocking_dag", "render_critpath",
+    "per_node_report", "render_per_node",
     "to_collapsed_stacks", "write_flamegraph",
+    "LedgerEntry", "OpLedger", "entry_key", "ledger_from_records",
+    "ledger_path_for",
+    "diff_files", "diff_runs", "load_run", "metric_delta_attribution",
+    "render_check_attribution", "render_diff", "render_diff_html",
     "Observability", "attach",
     "enable", "disable", "get_global", "is_enabled",
     "TelemetrySession", "render_dashboard",

@@ -35,6 +35,7 @@ class TraceCapture:
     description: str
     obs: Observability
     op_ids: List[int] = field(default_factory=list)
+    n_nodes: int = 0
 
     @property
     def tracer(self):
@@ -42,6 +43,17 @@ class TraceCapture:
 
     def breakdowns(self) -> List[Dict[str, Any]]:
         return [phase_breakdown(self.obs.tracer, op) for op in self.op_ids]
+
+    def ledger(self, fidelity: Optional[str] = None):
+        """The capture's ops folded into a fresh :class:`OpLedger` —
+        latency histograms plus wait-cause vectors per entry."""
+        from repro.obs.ledger import OpLedger
+
+        ledger = OpLedger(fidelity=fidelity)
+        for op_id in self.op_ids:
+            ledger.record_op(self.tracer, op_id, artifact=self.artifact,
+                             nprocs=self.n_nodes)
+        return ledger
 
 
 def _traced_cluster(n_nodes: int, protocol: str = "rdma",
@@ -70,7 +82,7 @@ def _trace_fig08(telemetry: Optional[float] = None, **_: Any) -> TraceCapture:
         _drain(cluster, [driver.nop()], obs)
     return TraceCapture(
         "fig08", "host nop invocations on 2 nodes (uC dispatch only)",
-        obs, obs.tracer.op_ids())
+        obs, obs.tracer.op_ids(), n_nodes=2)
 
 
 def _trace_fig07(telemetry: Optional[float] = None, **_: Any) -> TraceCapture:
@@ -91,7 +103,7 @@ def _trace_fig07(telemetry: Optional[float] = None, **_: Any) -> TraceCapture:
         "fig07",
         "eager (16 KiB) + rendezvous (1 MiB) + bulk (16 MiB) send/recv "
         "on 2 nodes",
-        obs, obs.tracer.op_ids())
+        obs, obs.tracer.op_ids(), n_nodes=2)
 
 
 def _trace_allreduce(nbytes: int = 64 * units.KIB, n_nodes: int = 4,
@@ -105,7 +117,7 @@ def _trace_allreduce(nbytes: int = 64 * units.KIB, n_nodes: int = 4,
     ], obs)
     return TraceCapture(
         "allreduce", f"{n_nodes}-node allreduce of {nbytes} B",
-        obs, obs.tracer.op_ids())
+        obs, obs.tracer.op_ids(), n_nodes=n_nodes)
 
 
 def _trace_fig12(nbytes: int = 32 * units.MIB, n_nodes: int = 4,
@@ -124,7 +136,84 @@ def _trace_fig12(nbytes: int = 32 * units.MIB, n_nodes: int = 4,
     ], obs)
     return TraceCapture(
         "fig12", f"{n_nodes}-node reduce of {nbytes} B to root 0",
-        obs, obs.tracer.op_ids())
+        obs, obs.tracer.op_ids(), n_nodes=n_nodes)
+
+
+def throttle_links(cluster, pattern: str, factor: float) -> List[str]:
+    """Divide the bandwidth of every fabric link whose name contains
+    *pattern* by *factor* (fault injection for straggler studies).
+
+    Must run after the cluster is built but before traffic starts — both
+    the link's admission-rate field and its bandwidth pipe are rescaled,
+    so packet serialisation and flow bursts slow down alike.  Returns the
+    throttled link names; raises if the pattern matches nothing.
+    """
+    hits: List[str] = []
+    for link in cluster.topology.iter_links():
+        if pattern in link.name:
+            link.rate /= factor
+            link._pipe.rate /= factor
+            hits.append(link.name)
+    if not hits:
+        names = sorted(l.name for l in cluster.topology.iter_links())
+        raise ValueError(
+            f"slow_link pattern {pattern!r} matched no link; fabric has: "
+            f"{', '.join(names[:12])}{' ...' if len(names) > 12 else ''}")
+    return hits
+
+
+def _trace_figX_scale(n_nodes: int = 16, size: int = units.MIB,
+                      fabric: str = "fattree",
+                      slow_link: Optional[str] = None,
+                      slow_factor: float = 8.0,
+                      telemetry: Optional[float] = None,
+                      **_: Any) -> TraceCapture:
+    """One scale-study leg under a tracer: bcast + two allreduces on a
+    real multi-tier fabric.
+
+    Unlike the 2–4 node star scenarios above, this builds the same
+    fat-tree/leaf-spine/dragonfly fabrics as ``figX_scale``, so per-node
+    and per-link attribution has real switches and uplinks to blame.
+    Traffic is binomial-tree bcasts at two sizes: every non-root endpoint
+    receives exactly one message per op, so per-endpoint load is uniform
+    and an outlier node or link is an anomaly, not an artifact of the
+    traffic pattern (root-centric collectives would drown it in root-link
+    congestion, and packet-fidelity ring collectives are too slow at this
+    scale).  Pass ``slow_link=<name-substring>`` (e.g. ``fpga137.down``)
+    with ``slow_factor`` to throttle matching links before traffic starts
+    — the injected straggler that ``bench critpath --per-node`` must find.
+    """
+    from repro.bench.harness import scale_topology_factory
+    from repro.cluster.builder import build_fpga_cluster
+    from repro.driver.api import attach_drivers
+
+    n_nodes, size = int(n_nodes), int(size)
+    slow_factor = float(slow_factor)
+    factory = scale_topology_factory(fabric, n_nodes)
+    cluster = build_fpga_cluster(n_nodes, topology_factory=factory,
+                                 peering="lazy")
+    obs = attach(cluster, Observability(
+        trace_capacity=max(200_000, n_nodes * 4_000),
+        telemetry_cadence=telemetry))
+    throttled: List[str] = []
+    if slow_link:
+        throttled = throttle_links(cluster, str(slow_link), slow_factor)
+    drivers = attach_drivers(cluster)
+    for nbytes in (size, max(size // 4, 256)):
+        chunk = np.ones(nbytes // 4, dtype=np.float32)
+        _drain(cluster, [
+            d.bcast(d.wrap(chunk) if i == 0 else d.alloc(nbytes),
+                    nbytes, 0)
+            for i, d in enumerate(drivers)
+        ], obs)
+    desc = (f"{n_nodes}-node {fabric} scale leg: bcasts of {size} and "
+            f"{max(size // 4, 256)} B")
+    if throttled:
+        desc += (f" [slowed x{slow_factor:g}: "
+                 f"{', '.join(throttled[:4])}"
+                 f"{' ...' if len(throttled) > 4 else ''}]")
+    return TraceCapture("figX_scale", desc, obs, obs.tracer.op_ids(),
+                        n_nodes=n_nodes)
 
 
 _SCENARIOS = {
@@ -133,6 +222,7 @@ _SCENARIOS = {
     "allreduce": _trace_allreduce,
     "fig10": _trace_allreduce,
     "fig12": _trace_fig12,
+    "figX_scale": _trace_figX_scale,
 }
 
 

@@ -19,14 +19,19 @@ PCIe staging.  This module turns them into answers:
 - :func:`to_collapsed_stacks` / :func:`write_flamegraph` — collapsed-stack
   output (``frame;frame;frame count``) for flamegraph.pl / speedscope /
   inferno; frame values are exclusive self-time in integer nanoseconds.
+- :func:`per_node_report` — per-node and per-link outlier attribution
+  (``bench critpath --per-node``): span time aggregated by entity with
+  wait-cause breakdowns and z-score straggler flagging, for finding the
+  slow node or congested uplink in a large-fabric run.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.obs.export import attribute_op
-from repro.obs.spans import SpanTracer
+from repro.obs.spans import Span, SpanTracer
 
 
 def critical_path(tracer: SpanTracer, op_id: int) -> Dict[str, Any]:
@@ -110,6 +115,169 @@ def render_critpath(report: Dict[str, Any]) -> str:
         f"  reconciliation: path {path_total * 1e6:.3f}us == "
         f"phase buckets {phase_total * 1e6:.3f}us == "
         f"wall {wall_us:.3f}us [{'OK' if ok else 'MISMATCH'}]")
+    if report.get("incomplete"):
+        lines.append("  WARNING: span ring buffer overflowed — dropped "
+                     "spans are missing from these totals (INCOMPLETE)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Per-node / per-link outlier attribution
+# ---------------------------------------------------------------------------
+
+def _span_entity(component: str, name: str, cause: Optional[str]):
+    """Classify one span's timeline owner.
+
+    Link spans are recorded with the *link name* as their component —
+    ``wait:link_busy`` queueing stalls (:meth:`repro.network.link.Link.send`)
+    and flow-mode ``wire:burst`` occupancy — while engine spans use
+    ``<node>.<component>`` names whose node prefix owns them.
+    """
+    if cause == "link_busy" or name == "wire:burst":
+        return "link", component
+    return "node", component.partition(".")[0]
+
+
+def per_node_report(tracer: SpanTracer, op_ids: Iterable[int],
+                    top_k: int = 10,
+                    z_threshold: float = 2.5) -> Dict[str, Any]:
+    """Aggregate the selected ops' spans per node and per link, flagging
+    statistical stragglers.
+
+    For every entity the report sums *raw* span time clipped to the ops'
+    windows — productive time by phase, stall time by wait cause — plus
+    the entity's share of the exclusive critical path
+    (:func:`critical_path` segments).  Raw time is comparable across
+    symmetric peers (every rank of a ring does the same work), so each
+    entity gets a z-score of its total observed time against the other
+    entities of its kind; ``|z| >= z_threshold`` flags it a straggler.
+    An injected slow node or throttled uplink surfaces at the top of its
+    table with the wait causes that explain it.
+    """
+    wanted = set(op_ids)
+    window_by_op: Dict[int, tuple] = {}
+    reports = []
+    incomplete = False
+    for op in sorted(wanted):
+        report = attribute_op(tracer, op)
+        reports.append(report)
+        window_by_op[op] = (report["t0"], report["t1"])
+        incomplete = incomplete or report.get("incomplete", False)
+
+    def _clipped(span: Span) -> float:
+        # Clip to the span's own op window only — concurrent ops have
+        # heavily overlapping windows and clipping against the union
+        # would multi-count every span.
+        t0, t1 = window_by_op[span.op_id]
+        lo, hi = max(span.t0, t0), min(span.t1, t1)
+        return hi - lo if hi > lo else 0.0
+
+    entities: Dict[tuple, Dict[str, Any]] = {}
+
+    def _entity(kind: str, name: str) -> Dict[str, Any]:
+        ent = entities.get((kind, name))
+        if ent is None:
+            ent = {"name": name, "kind": kind, "busy_s": 0.0, "wait_s": 0.0,
+                   "crit_s": 0.0, "spans": 0, "causes": {}, "phases": {}}
+            entities[(kind, name)] = ent
+        return ent
+
+    for span in tracer.iter_spans():
+        if span.op_id not in wanted or not span.closed:
+            continue
+        if span.phase in ("collective", "fidelity"):
+            continue
+        dur = _clipped(span)
+        if dur <= 0.0:
+            continue
+        detail = dict(span.detail)
+        kind, name = _span_entity(span.component, span.name,
+                                  detail.get("cause"))
+        ent = _entity(kind, name)
+        ent["spans"] += 1
+        if span.phase == "wait":
+            cause = detail.get("cause", "unknown")
+            ent["wait_s"] += dur
+            ent["causes"][cause] = ent["causes"].get(cause, 0.0) + dur
+        else:
+            ent["busy_s"] += dur
+            ent["phases"][span.phase] = (
+                ent["phases"].get(span.phase, 0.0) + dur)
+
+    for report in reports:
+        for seg in report["segments"]:
+            if not seg["component"]:
+                continue
+            cause = (seg["bucket"][5:]
+                     if seg["bucket"].startswith("wait:") else None)
+            kind, name = _span_entity(seg["component"], seg["span"], cause)
+            _entity(kind, name)["crit_s"] += seg["dur_s"]
+
+    groups: Dict[str, List[Dict[str, Any]]] = {"node": [], "link": []}
+    for ent in entities.values():
+        ent["total_s"] = ent["busy_s"] + ent["wait_s"]
+        groups[ent["kind"]].append(ent)
+    flagged: List[str] = []
+    for kind, members in groups.items():
+        scores = [m["total_s"] for m in members]
+        n = len(scores)
+        mean = sum(scores) / n if n else 0.0
+        var = sum((s - mean) ** 2 for s in scores) / n if n else 0.0
+        std = math.sqrt(var)
+        for member in members:
+            member["z"] = (member["total_s"] - mean) / std if std > 0 else 0.0
+            member["straggler"] = member["z"] >= z_threshold
+            if member["straggler"]:
+                flagged.append(member["name"])
+        members.sort(key=lambda m: (-m["total_s"], m["name"]))
+
+    return {
+        "ops": sorted(wanted),
+        "top_k": top_k,
+        "z_threshold": z_threshold,
+        "incomplete": incomplete,
+        "nodes": groups["node"][:top_k],
+        "links": groups["link"][:top_k],
+        "node_count": len(groups["node"]),
+        "link_count": len(groups["link"]),
+        "stragglers": sorted(flagged),
+    }
+
+
+def _fmt_causes(totals: Dict[str, float], limit: int = 3) -> str:
+    parts = sorted(totals.items(), key=lambda kv: -kv[1])[:limit]
+    return " ".join(f"{name}={value * 1e6:.1f}us" for name, value in parts)
+
+
+def render_per_node(report: Dict[str, Any]) -> str:
+    """Fixed-width top-k tables over a :func:`per_node_report`."""
+    lines = [
+        f"per-node attribution over {len(report['ops'])} op(s): "
+        f"{report['node_count']} nodes, {report['link_count']} links "
+        f"(z-threshold {report['z_threshold']:.1f})",
+    ]
+    if report["incomplete"]:
+        lines.append("WARNING: span ring buffer overflowed — totals are "
+                     "partial (INCOMPLETE)")
+    for kind, members in (("node", report["nodes"]),
+                          ("link", report["links"])):
+        if not members:
+            continue
+        header = (f"  {kind:<6} {'name':<28} {'busy_us':>10} {'wait_us':>10} "
+                  f"{'crit_us':>10} {'z':>6}  top causes")
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for m in members:
+            flag = " STRAGGLER" if m["straggler"] else ""
+            causes = _fmt_causes(m["causes"])
+            lines.append(
+                f"  {kind:<6} {m['name']:<28} {m['busy_s'] * 1e6:>10.1f} "
+                f"{m['wait_s'] * 1e6:>10.1f} {m['crit_s'] * 1e6:>10.1f} "
+                f"{m['z']:>6.2f}  {causes}{flag}")
+    if report["stragglers"]:
+        lines.append("  stragglers: " + ", ".join(report["stragglers"]))
+    else:
+        lines.append("  no stragglers flagged")
     return "\n".join(lines)
 
 

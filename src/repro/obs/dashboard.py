@@ -304,8 +304,13 @@ def _render_flamegraph(capture: TraceCapture, width: int = 1000,
 # ---------------------------------------------------------------------------
 
 def render_dashboard(capture: TraceCapture,
-                     fidelity: Optional[str] = None) -> str:
-    """Render *capture* as one self-contained HTML page."""
+                     fidelity: Optional[str] = None,
+                     diff_doc: Optional[Dict[str, Any]] = None) -> str:
+    """Render *capture* as one self-contained HTML page.
+
+    ``diff_doc`` (a :func:`repro.obs.diff.diff_files` document) adds a
+    "Differential vs baseline" section with the ranked delta table.
+    """
     if fidelity is None:
         from repro.network.fidelity import default_fidelity
         fidelity = default_fidelity()
@@ -337,6 +342,10 @@ def render_dashboard(capture: TraceCapture,
         ("Fidelity decision log", _render_decisions(capture, fidelity)),
         ("Flamegraph", _render_flamegraph(capture)),
     ]
+    if diff_doc is not None:
+        from repro.obs.diff import render_diff_html
+        sections.insert(2, ("Differential vs baseline",
+                            render_diff_html(diff_doc)))
     body = "".join(f"<section><h2>{escape(title)}</h2>{html}</section>"
                    for title, html in sections)
     return (

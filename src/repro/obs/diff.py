@@ -1,0 +1,320 @@
+"""Differential comparison of two runs (``bench diff <a> <b>``).
+
+Takes two saved run files — op ledgers (:mod:`repro.obs.ledger`) or the
+JSON written by ``bench trace --json`` / ``bench critpath --json`` — and
+produces a delta table ranked by regression magnitude, each row carrying
+a wait-cause attribution of its delta::
+
+    figX_scale/allreduce/16777216B/ring/64n/flow  +12.0% sim time:
+        +9.3% wait:credit_stall, +2.1% wait:dmp_slot
+
+Two identical runs diff to zero rows.  The same attribution logic powers
+``bench check``'s failure output (:func:`render_check_attribution`): when
+the regression gate trips on a scenario's ``wall_us``, the causal diff of
+its ``wait_us.*`` / ``phase_us.*`` metrics prints next to the bare
+number.  :func:`render_diff_html` renders the ranked table as a section
+for the HTML dashboard (or a standalone page via ``bench diff --html``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+#: relative change below which two values count as identical (float noise
+#: across platforms; deterministic sims produce exact zeros anyway).
+IDENTICAL_REL = 1e-9
+
+DIFF_SCHEMA = 1
+
+
+# ---------------------------------------------------------------------------
+# Normalized run loading
+# ---------------------------------------------------------------------------
+
+def _entries_from_ledger(doc: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    entries: Dict[str, Dict[str, Any]] = {}
+    for key, data in doc.get("entries", {}).items():
+        latencies = data.get("latencies", [])
+        count = len(latencies)
+        if not count:
+            continue
+        # Per-op means keep entries comparable when the two runs recorded
+        # different op counts (e.g. a re-run with more iterations).
+        wall_us = sum(latencies) / count * 1e6
+        crit_us = {bucket: seconds / count * 1e6
+                   for bucket, seconds in data.get("crit_s", {}).items()}
+        entries[key] = {
+            "label": key,
+            "wall_us": wall_us,
+            "count": count,
+            "crit_us": crit_us,
+            "incomplete": bool(data.get("incomplete")),
+        }
+    return entries
+
+
+def _entries_from_ops(doc: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Normalize a trace/critpath JSON (``{"artifact", "ops": [...]}``).
+
+    Ops are keyed by ``artifact/name#occurrence`` — stable across two runs
+    of the same deterministic scenario regardless of op-id allocation.
+    """
+    artifact = doc.get("artifact", "?")
+    entries: Dict[str, Dict[str, Any]] = {}
+    seen: Dict[str, int] = {}
+    for op in doc.get("ops", []):
+        name = op.get("name", "?")
+        index = seen.get(name, 0)
+        seen[name] = index + 1
+        key = f"{artifact}/{name}#{index}"
+        buckets = op.get("totals") or op.get("phases") or {}
+        entries[key] = {
+            "label": key,
+            "wall_us": op.get("wall_s", 0.0) * 1e6,
+            "count": 1,
+            "crit_us": {bucket: seconds * 1e6
+                        for bucket, seconds in buckets.items()},
+            "incomplete": bool(op.get("incomplete")),
+        }
+    return entries
+
+
+def normalize_run(doc: Dict[str, Any], label: str = "") -> Dict[str, Any]:
+    """Shape any supported run document as ``{"kind", "label", "entries"}``."""
+    if "entries" in doc:
+        return {"kind": "ledger", "label": label,
+                "entries": _entries_from_ledger(doc)}
+    if "ops" in doc:
+        return {"kind": "trace", "label": label,
+                "entries": _entries_from_ops(doc)}
+    raise ValueError(
+        f"{label or 'run document'}: neither a ledger (no 'entries') nor a "
+        "trace/critpath JSON (no 'ops')")
+
+
+def load_run(path: str) -> Dict[str, Any]:
+    """Load and normalize one run file (ledger or trace/critpath JSON)."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    return normalize_run(doc, label=path)
+
+
+# ---------------------------------------------------------------------------
+# Diffing
+# ---------------------------------------------------------------------------
+
+def _cause_deltas(base: Dict[str, float], cur: Dict[str, float],
+                  ref_us: float) -> List[Dict[str, Any]]:
+    """Per-bucket deltas sorted by magnitude; share is relative to the
+    reference wall time (so the shares of a +12% regression read as
+    '+9.3% of the baseline time went to credit_stall')."""
+    out = []
+    for bucket in sorted(set(base) | set(cur)):
+        delta = cur.get(bucket, 0.0) - base.get(bucket, 0.0)
+        if abs(delta) <= IDENTICAL_REL * max(abs(ref_us), 1.0):
+            continue
+        out.append({
+            "bucket": bucket,
+            "delta_us": delta,
+            "share": delta / ref_us if ref_us else 0.0,
+        })
+    out.sort(key=lambda c: (-abs(c["delta_us"]), c["bucket"]))
+    return out
+
+
+def diff_runs(a: Dict[str, Any], b: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Delta rows between two normalized runs, ranked by regression
+    magnitude (absolute sim-time delta, regressions before improvements
+    at equal magnitude).  Identical entries produce no row."""
+    rows: List[Dict[str, Any]] = []
+    ea, eb = a["entries"], b["entries"]
+    for key in sorted(set(ea) | set(eb)):
+        base, cur = ea.get(key), eb.get(key)
+        if base is None or cur is None:
+            present = cur or base
+            rows.append({
+                "key": key,
+                "base_us": None if base is None else base["wall_us"],
+                "cur_us": None if cur is None else cur["wall_us"],
+                "delta_us": present["wall_us"] * (1 if base is None else -1),
+                "rel": None,
+                "causes": [],
+                "note": "only in b" if base is None else "only in a",
+                "incomplete": present.get("incomplete", False),
+            })
+            continue
+        base_us, cur_us = base["wall_us"], cur["wall_us"]
+        delta = cur_us - base_us
+        ref = abs(base_us) or 1.0
+        if abs(delta) <= IDENTICAL_REL * max(ref, 1.0):
+            continue
+        rows.append({
+            "key": key,
+            "base_us": base_us,
+            "cur_us": cur_us,
+            "delta_us": delta,
+            "rel": delta / base_us if base_us else None,
+            "causes": _cause_deltas(base["crit_us"], cur["crit_us"],
+                                    base_us or 1.0),
+            "note": "",
+            "incomplete": (base.get("incomplete", False)
+                           or cur.get("incomplete", False)),
+        })
+    rows.sort(key=lambda r: (-abs(r["delta_us"]), -(r["delta_us"] > 0),
+                             r["key"]))
+    return rows
+
+
+def diff_files(path_a: str, path_b: str) -> Dict[str, Any]:
+    """Full diff document between two run files."""
+    a, b = load_run(path_a), load_run(path_b)
+    rows = diff_runs(a, b)
+    return {
+        "schema": DIFF_SCHEMA,
+        "a": path_a,
+        "b": path_b,
+        "kind": a["kind"] if a["kind"] == b["kind"] else "mixed",
+        "entries_a": len(a["entries"]),
+        "entries_b": len(b["entries"]),
+        "rows": rows,
+        "identical": not rows,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def _fmt_rel(rel: Optional[float]) -> str:
+    return "-" if rel is None else f"{rel * 100:+.1f}%"
+
+
+def _causes_text(row: Dict[str, Any], limit: int = 4) -> str:
+    parts = [f"{c['share'] * 100:+.1f}% {c['bucket']}"
+             for c in row["causes"][:limit]]
+    return ", ".join(parts)
+
+
+def render_diff(doc: Dict[str, Any], limit: int = 20) -> str:
+    """Ranked delta table plus per-row cause attribution lines."""
+    rows = doc["rows"]
+    head = (f"diff {doc['a']} -> {doc['b']} "
+            f"[{doc['kind']}: {doc['entries_a']} vs {doc['entries_b']} "
+            "entries]")
+    if not rows:
+        return head + "\nidentical: no deltas"
+    lines = [head,
+             f"{len(rows)} delta(s), ranked by regression magnitude:"]
+    for rank, row in enumerate(rows[:limit], 1):
+        base = "-" if row["base_us"] is None else f"{row['base_us']:,.1f}"
+        cur = "-" if row["cur_us"] is None else f"{row['cur_us']:,.1f}"
+        note = f" [{row['note']}]" if row["note"] else ""
+        flag = " [INCOMPLETE]" if row.get("incomplete") else ""
+        lines.append(
+            f"{rank:>3}. {row['key']}  {base} -> {cur} us "
+            f"({_fmt_rel(row['rel'])}, {row['delta_us']:+,.1f} us)"
+            f"{note}{flag}")
+        causes = _causes_text(row)
+        if causes:
+            lines.append(f"       {causes}")
+    if len(rows) > limit:
+        lines.append(f"... {len(rows) - limit} more row(s) elided "
+                     "(see --json for all)")
+    return "\n".join(lines)
+
+
+def render_diff_html(doc: Dict[str, Any], limit: int = 50,
+                     standalone: bool = False) -> str:
+    """The ranked delta table as an HTML fragment (dashboard section) or,
+    with ``standalone=True``, a full self-contained page."""
+    from html import escape
+
+    rows = doc["rows"]
+    if not rows:
+        body = ('<p class="note">No deltas: the two runs are '
+                'identical.</p>')
+    else:
+        cells = []
+        for rank, row in enumerate(rows[:limit], 1):
+            base = "-" if row["base_us"] is None else f"{row['base_us']:,.1f}"
+            cur = "-" if row["cur_us"] is None else f"{row['cur_us']:,.1f}"
+            color = "#b42318" if row["delta_us"] > 0 else "#027a48"
+            causes = escape(_causes_text(row)) or "-"
+            note = escape(row["note"] or "")
+            cells.append(
+                f"<tr><td class='num'>{rank}</td>"
+                f"<td><code>{escape(row['key'])}</code> {note}</td>"
+                f"<td class='num'>{base}</td><td class='num'>{cur}</td>"
+                f"<td class='num' style='color:{color}'>"
+                f"{_fmt_rel(row['rel'])}</td>"
+                f"<td class='num' style='color:{color}'>"
+                f"{row['delta_us']:+,.1f}</td>"
+                f"<td>{causes}</td></tr>")
+        more = (f'<p class="note">… {len(rows) - limit} more rows '
+                "elided.</p>" if len(rows) > limit else "")
+        body = (
+            f'<p class="note">{escape(doc["a"])} → {escape(doc["b"])} '
+            f'({len(rows)} deltas, ranked by regression magnitude).</p>'
+            "<table><tr><th class='num'>#</th><th>entry</th>"
+            "<th class='num'>base us</th><th class='num'>cur us</th>"
+            "<th class='num'>rel</th><th class='num'>delta us</th>"
+            f"<th>cause attribution</th></tr>{''.join(cells)}</table>{more}")
+    if not standalone:
+        return body
+    from repro.obs.dashboard import _CSS
+
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        "<title>repro diff</title>"
+        f"<style>{_CSS}</style></head><body>"
+        "<header><h1>repro · bench diff</h1>"
+        f'<div class="sub">{escape(doc["a"])} → {escape(doc["b"])}'
+        "</div></header>"
+        f"<main><section><h2>Ranked deltas</h2>{body}</section></main>"
+        "</body></html>\n")
+
+
+# ---------------------------------------------------------------------------
+# bench check failure attribution
+# ---------------------------------------------------------------------------
+
+def metric_delta_attribution(base_metrics: Dict[str, float],
+                             cur_metrics: Dict[str, float],
+                             prefixes: tuple = ("wait_us.", "phase_us."),
+                             ) -> List[Dict[str, Any]]:
+    """Causal attribution of a scenario-level wall-time delta from the
+    flat metric dicts ``bench check`` collects: every ``wait_us.*`` /
+    ``phase_us.*`` delta expressed as a share of the baseline wall."""
+    wall = base_metrics.get("wall_us", 0.0) or 1.0
+    out = []
+    for metric in sorted(set(base_metrics) | set(cur_metrics)):
+        if not metric.startswith(prefixes):
+            continue
+        delta = cur_metrics.get(metric, 0.0) - base_metrics.get(metric, 0.0)
+        if abs(delta) <= IDENTICAL_REL * abs(wall):
+            continue
+        out.append({"metric": metric, "delta_us": delta,
+                    "share": delta / wall})
+    out.sort(key=lambda c: (-abs(c["delta_us"]), c["metric"]))
+    return out
+
+
+def render_check_attribution(scenario: str,
+                             base_metrics: Dict[str, float],
+                             cur_metrics: Dict[str, float],
+                             limit: int = 4) -> str:
+    """One causal-diff line for a failing ``bench check`` scenario."""
+    base_wall = base_metrics.get("wall_us", 0.0)
+    cur_wall = cur_metrics.get("wall_us", 0.0)
+    rel = ((cur_wall - base_wall) / base_wall * 100) if base_wall else 0.0
+    causes = metric_delta_attribution(base_metrics, cur_metrics)[:limit]
+    if not causes:
+        return (f"  {scenario}: wall {base_wall:,.1f} -> {cur_wall:,.1f} us "
+                f"({rel:+.1f}%): no wait/phase metric moved — check span "
+                "counts and gauge totals")
+    parts = ", ".join(f"{c['share'] * 100:+.1f}% {c['metric']}"
+                      for c in causes)
+    return (f"  {scenario}: wall {base_wall:,.1f} -> {cur_wall:,.1f} us "
+            f"({rel:+.1f}%): {parts}")

@@ -224,6 +224,12 @@ def attribute_op(tracer: SpanTracer, op_id: int) -> Dict[str, Any]:
     gate).  ``wait_observed`` additionally reports the raw per-cause union
     (may overlap productive time — it answers "how long was anything stalled
     on X", not "what was the op blocked on").
+
+    When the tracer's span ring buffer overflowed (``spans_dropped > 0``),
+    evicted spans have silently vanished from every bucket; the report
+    carries ``"incomplete": True`` so consumers (``bench trace`` /
+    ``bench critpath``, the ledger, ``bench diff``) can surface the skew
+    instead of presenting partial totals as exact.
     """
     root = tracer.root_span(op_id)
     if root is None:
@@ -355,6 +361,7 @@ def attribute_op(tracer: SpanTracer, op_id: int) -> Dict[str, Any]:
         "totals": totals,
         "segments": segments,
         "wait_observed": wait_observed,
+        "incomplete": getattr(tracer, "spans_dropped", 0) > 0,
     }
 
 
@@ -373,7 +380,8 @@ def phase_breakdown(tracer: SpanTracer, op_id: int) -> Dict[str, Any]:
     """
     report = attribute_op(tracer, op_id)
     return {k: report[k] for k in ("op_id", "name", "t0", "t1", "wall_s",
-                                   "spans", "phases", "fractions")}
+                                   "spans", "phases", "fractions",
+                                   "incomplete")}
 
 
 def render_phase_table(breakdowns: Sequence[Dict[str, Any]]) -> str:

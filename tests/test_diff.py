@@ -1,0 +1,237 @@
+"""Differential comparison: ranked deltas, cause attribution, check wiring."""
+
+import json
+
+import pytest
+
+from repro.bench import check as check_mod
+from repro.obs import capture
+from repro.obs.diff import (diff_files, diff_runs, load_run,
+                            metric_delta_attribution, normalize_run,
+                            render_check_attribution, render_diff,
+                            render_diff_html)
+
+
+def _ledger_doc(entries):
+    """Minimal ledger document: {key: (latencies_s, crit_s)}."""
+    return {
+        "schema": 1,
+        "fidelity": "packet",
+        "entries": {
+            key: {
+                "artifact": key.split("/")[0],
+                "collective": key.split("/")[1],
+                "size": 1024, "algorithm": "auto", "nprocs": 4,
+                "fidelity": "packet",
+                "latencies": list(latencies),
+                "crit_s": dict(crit_s),
+                "phase_s": {},
+                "incomplete": False,
+            }
+            for key, (latencies, crit_s) in entries.items()
+        },
+    }
+
+
+BASE = _ledger_doc({
+    "fig07/allreduce": ([100e-6], {"wire": 60e-6, "wait:credit_stall": 10e-6}),
+    "fig07/bcast": ([50e-6], {"wire": 50e-6}),
+})
+
+
+class TestNormalize:
+    def test_ledger_doc_normalizes_to_per_op_means(self):
+        run = normalize_run(_ledger_doc({
+            "a/bcast": ([10e-6, 30e-6], {"wire": 40e-6}),
+        }))
+        assert run["kind"] == "ledger"
+        ent = run["entries"]["a/bcast"]
+        assert ent["wall_us"] == pytest.approx(20.0)  # mean of 10 and 30
+        assert ent["crit_us"]["wire"] == pytest.approx(20.0)  # 40/2 ops
+
+    def test_trace_doc_keys_by_name_occurrence(self):
+        run = normalize_run({
+            "artifact": "fig08",
+            "ops": [
+                {"name": "collective:nop", "wall_s": 1e-6,
+                 "phases": {"uc": 1e-6}},
+                {"name": "collective:nop", "wall_s": 2e-6,
+                 "totals": {"uc": 2e-6}},
+            ],
+        })
+        assert run["kind"] == "trace"
+        assert set(run["entries"]) == \
+            {"fig08/collective:nop#0", "fig08/collective:nop#1"}
+        # totals preferred over phases when both exist
+        assert run["entries"]["fig08/collective:nop#1"]["crit_us"]["uc"] == \
+            pytest.approx(2.0)
+
+    def test_unrecognized_doc_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_run({"rows": []}, label="x.json")
+
+
+class TestDiffRuns:
+    def test_identical_runs_have_zero_deltas(self):
+        rows = diff_runs(normalize_run(BASE), normalize_run(BASE))
+        assert rows == []
+
+    def test_perturbed_entry_ranks_first_with_correct_cause(self):
+        cur = _ledger_doc({
+            # +40us, +38 of it credit_stall: the regression
+            "fig07/allreduce": ([140e-6],
+                                {"wire": 62e-6, "wait:credit_stall": 48e-6}),
+            # small improvement elsewhere
+            "fig07/bcast": ([48e-6], {"wire": 48e-6}),
+        })
+        rows = diff_runs(normalize_run(BASE), normalize_run(cur))
+        assert [r["key"] for r in rows] == \
+            ["fig07/allreduce", "fig07/bcast"]
+        top = rows[0]
+        assert top["delta_us"] == pytest.approx(40.0)
+        assert top["rel"] == pytest.approx(0.40)
+        # the majority of the delta is attributed to the perturbed cause
+        assert top["causes"][0]["bucket"] == "wait:credit_stall"
+        assert top["causes"][0]["delta_us"] > abs(
+            sum(c["delta_us"] for c in top["causes"][1:]))
+        assert rows[1]["delta_us"] == pytest.approx(-2.0)
+
+    def test_regressions_rank_before_equal_improvements(self):
+        cur = _ledger_doc({
+            "fig07/allreduce": ([110e-6], {"wire": 70e-6}),
+            "fig07/bcast": ([40e-6], {"wire": 40e-6}),
+        })
+        rows = diff_runs(normalize_run(BASE), normalize_run(cur))
+        assert rows[0]["key"] == "fig07/allreduce"  # +10 beats -10
+
+    def test_added_and_removed_entries_are_noted(self):
+        cur = _ledger_doc({
+            "fig07/allreduce": ([100e-6],
+                                {"wire": 60e-6, "wait:credit_stall": 10e-6}),
+            "fig07/reduce": ([70e-6], {"wire": 70e-6}),
+        })
+        rows = diff_runs(normalize_run(BASE), normalize_run(cur))
+        notes = {r["key"]: r["note"] for r in rows}
+        assert notes["fig07/reduce"] == "only in b"
+        assert notes["fig07/bcast"] == "only in a"
+
+
+class TestDiffFilesAndRendering:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_diff_files_and_render(self, tmp_path):
+        a = self._write(tmp_path, "a.json", BASE)
+        b = self._write(tmp_path, "b.json", _ledger_doc({
+            "fig07/allreduce": ([130e-6],
+                                {"wire": 60e-6, "wait:credit_stall": 40e-6}),
+            "fig07/bcast": ([50e-6], {"wire": 50e-6}),
+        }))
+        doc = diff_files(a, b)
+        assert doc["kind"] == "ledger"
+        assert not doc["identical"]
+        text = render_diff(doc)
+        assert "ranked by regression magnitude" in text
+        assert "wait:credit_stall" in text
+        html = render_diff_html(doc, standalone=True)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "wait:credit_stall" in html
+
+    def test_identical_files_render_as_identical(self, tmp_path):
+        a = self._write(tmp_path, "a.json", BASE)
+        doc = diff_files(a, a)
+        assert doc["identical"]
+        assert "identical: no deltas" in render_diff(doc)
+        assert "identical" in render_diff_html(doc)
+
+    def test_load_run_accepts_trace_docs(self, tmp_path):
+        path = self._write(tmp_path, "t.json", {
+            "artifact": "fig08",
+            "ops": [{"name": "collective:nop", "wall_s": 1e-6,
+                     "phases": {"uc": 1e-6}}],
+        })
+        assert load_run(path)["kind"] == "trace"
+
+
+class TestEndToEndSlowLink:
+    """Acceptance: a perturbed figX_scale run diffs against baseline with
+    the perturbed op first and the delta blamed on the wire/link path."""
+
+    def test_slow_link_is_ranked_and_attributed(self):
+        kwargs = dict(n_nodes=8, size=256 * 1024)
+        base = capture.trace_artifact("figX_scale", **kwargs).ledger()
+        slow = capture.trace_artifact(
+            "figX_scale", slow_link="fpga3.down", slow_factor=8.0,
+            **kwargs).ledger()
+        rows = diff_runs(normalize_run(base.snapshot()),
+                         normalize_run(slow.snapshot()))
+        assert rows, "slow link must produce deltas"
+        top = rows[0]
+        assert top["delta_us"] > 0
+        # majority of the regression lands on the serialization path
+        majority = sum(c["delta_us"] for c in top["causes"]
+                       if c["bucket"] in ("wire", "wait:link_busy"))
+        regress = sum(c["delta_us"] for c in top["causes"]
+                      if c["delta_us"] > 0)
+        assert majority > 0.5 * regress
+        # identical reruns stay silent
+        again = capture.trace_artifact("figX_scale", **kwargs).ledger()
+        assert diff_runs(normalize_run(base.snapshot()),
+                         normalize_run(again.snapshot())) == []
+
+
+class TestCheckAttribution:
+    def test_metric_delta_attribution_sorts_by_magnitude(self):
+        base = {"wall_us": 100.0, "wait_us.credit_stall": 10.0,
+                "phase_us.wire": 60.0, "spans": 4.0}
+        cur = {"wall_us": 130.0, "wait_us.credit_stall": 38.0,
+               "phase_us.wire": 62.0, "spans": 4.0}
+        causes = metric_delta_attribution(base, cur)
+        assert causes[0]["metric"] == "wait_us.credit_stall"
+        assert causes[0]["share"] == pytest.approx(0.28)
+        assert {c["metric"] for c in causes} == \
+            {"wait_us.credit_stall", "phase_us.wire"}
+
+    def test_render_names_scenario_and_top_cause(self):
+        line = render_check_attribution(
+            "fig07", {"wall_us": 100.0, "wait_us.rx_match": 5.0},
+            {"wall_us": 112.0, "wait_us.rx_match": 16.0})
+        assert "fig07" in line
+        assert "+12.0%" in line
+        assert "wait_us.rx_match" in line
+
+    def test_no_moved_metric_is_called_out(self):
+        line = render_check_attribution(
+            "fig08", {"wall_us": 100.0}, {"wall_us": 100.0})
+        assert "no wait/phase metric moved" in line
+
+
+class TestCheckJsonReport:
+    def test_report_doc_shape(self):
+        rows = [
+            {"scenario": "fig08", "metric": "wall_us", "base": 5.8,
+             "cur": 5.8, "rel": 0.0, "tol": 0.02, "ok": True, "note": ""},
+            {"scenario": "fig08", "metric": "spans", "base": 6.0,
+             "cur": 9.0, "rel": 0.5, "tol": 0.02, "ok": False, "note": ""},
+        ]
+        doc = check_mod.report_doc(rows, "packet", "benchmarks/x.json")
+        assert doc["ok"] is False
+        assert doc["violations"] == 1
+        verdicts = {m["metric"]: m["verdict"] for m in doc["metrics"]}
+        assert verdicts == {"wall_us": "ok", "spans": "fail"}
+        assert doc["metrics"][0]["observed"] == 5.8
+        assert doc["metrics"][0]["tolerance"] == 0.02
+
+    def test_check_cli_writes_json_report(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        out = str(tmp_path / "report.json")
+        rc = main(["check", "fig08", "--json", out])
+        assert rc == 0
+        capsys.readouterr()
+        doc = json.load(open(out))
+        assert doc["schema"] == 1
+        assert doc["ok"] is True
+        assert all(m["verdict"] == "ok" for m in doc["metrics"])

@@ -1,0 +1,215 @@
+"""Per-op latency ledger: keys, merge identity, attribution reconciliation."""
+
+import json
+
+import pytest
+
+from repro import units
+from repro.bench import harness
+from repro.bench.runner import SweepRunner
+from repro.network.fidelity import fidelity_override
+from repro.obs import capture
+from repro.obs.export import attribute_op, phase_breakdown
+from repro.obs.ledger import (LedgerEntry, OpLedger, entry_key,
+                              ledger_from_records, ledger_path_for)
+
+KIB = units.KIB
+
+
+class TestEntryBasics:
+    def test_key_format_is_stable(self):
+        key = entry_key("fig07", "allreduce", 65536, "ring", 8, "packet")
+        assert key == "fig07/allreduce/65536B/ring/8n/packet"
+        assert entry_key("a", "bcast", 16, None, 4, "flow") == \
+            "a/bcast/16B/auto/4n/flow"
+
+    def test_observe_accumulates_histogram_and_totals(self):
+        ent = LedgerEntry("a", "bcast", 1024, None, 4, "packet")
+        ent.observe(1e-3, crit_s={"wire": 6e-4, "wait:rendezvous": 4e-4},
+                    phase_s={"wire": 6e-4, "other": 4e-4})
+        ent.observe(3e-3, crit_s={"wire": 3e-3})
+        assert ent.count == 2
+        assert ent.crit_s["wire"] == pytest.approx(3.6e-3)
+        summary = ent.summary()
+        assert summary["ops"] == 2
+        assert summary["sum_us"] == pytest.approx(4000.0)
+        assert summary["min_us"] == pytest.approx(1000.0)
+        assert summary["max_us"] == pytest.approx(3000.0)
+        assert "p50_us" in summary and "p99_us" in summary
+        assert "incomplete" not in summary
+
+    def test_incomplete_flag_ors_and_surfaces(self):
+        ent = LedgerEntry("a", "bcast", 1024, None, 4, "packet")
+        ent.observe(1e-3)
+        ent.observe(1e-3, incomplete=True)
+        ent.observe(1e-3)
+        assert ent.incomplete
+        assert ent.summary()["incomplete"] is True
+
+
+class TestLedgerMerge:
+    def _sample(self, fidelity="packet"):
+        ledger = OpLedger(fidelity=fidelity)
+        for latency in (1e-3, 2e-3, 5e-3):
+            ledger.observe(latency, artifact="fig07", collective="bcast",
+                           size=64 * KIB, nprocs=8,
+                           crit_s={"wire": latency})
+        ledger.observe(4e-3, artifact="fig12", collective="reduce",
+                       size=KIB, nprocs=4, algorithm="ring")
+        return ledger
+
+    def test_snapshot_roundtrip_is_identity(self):
+        ledger = self._sample()
+        clone = OpLedger.from_snapshot(ledger.snapshot())
+        assert clone.snapshot() == ledger.snapshot()
+        assert clone.ops == ledger.ops == 4
+
+    def test_merge_is_equivalent_to_interleaved_observation(self):
+        """Registry idiom: histograms extend, totals add, flags OR."""
+        a, b = self._sample(), self._sample()
+        merged = OpLedger(fidelity="packet")
+        merged.merge(a.snapshot())
+        merged.merge(b.snapshot())
+        key = entry_key("fig07", "bcast", 64 * KIB, None, 8, "packet")
+        ent = merged.entries[key]
+        assert ent.count == 6
+        assert ent.crit_s["wire"] == pytest.approx(2 * 8e-3)
+        # Same observations recorded directly, one sequence:
+        direct = self._sample()
+        for latency in (1e-3, 2e-3, 5e-3):
+            direct.observe(latency, artifact="fig07", collective="bcast",
+                           size=64 * KIB, nprocs=8,
+                           crit_s={"wire": latency})
+        direct.observe(4e-3, artifact="fig12", collective="reduce",
+                       size=KIB, nprocs=4, algorithm="ring")
+        assert sorted(merged.entries) == sorted(direct.entries)
+        for k in merged.entries:
+            assert sorted(merged.entries[k].latency._values) == \
+                sorted(direct.entries[k].latency._values)
+            assert merged.entries[k].crit_s == pytest.approx(
+                direct.entries[k].crit_s)
+
+    def test_save_load(self, tmp_path):
+        ledger = self._sample()
+        path = str(tmp_path / "ledger.json")
+        assert ledger.save(path) == len(ledger.entries)
+        loaded = OpLedger.load(path)
+        assert loaded.snapshot() == ledger.snapshot()
+
+    def test_summary_has_per_artifact_percentiles(self):
+        summary = self._sample().summary()
+        assert summary["ops"] == 4
+        assert summary["entries"] == 2
+        fig07 = summary["artifacts"]["fig07"]
+        assert fig07["ops"] == 3
+        assert fig07["p50_us"] == pytest.approx(2000.0)
+        assert fig07["p99_us"] <= 5000.0 + 1e-6
+        assert "fig12" in summary["artifacts"]
+
+
+class TestRecordOpReconciliation:
+    """Ledger cause totals must reconcile exactly with phase_breakdown
+    and the op's wall sim-time — the tentpole's acceptance invariant."""
+
+    @pytest.mark.parametrize("fidelity", ["packet", "flow"])
+    def test_cause_totals_reconcile_with_wall(self, fidelity):
+        with fidelity_override(fidelity):
+            cap = capture.trace_artifact("fig07")
+        ledger = OpLedger(fidelity=fidelity)
+        for op in cap.op_ids:
+            report = ledger.record_op(cap.tracer, op, artifact="fig07",
+                                      nprocs=2)
+            assert sum(report["totals"].values()) == \
+                pytest.approx(report["wall_s"], rel=1e-9)
+        total_wall = sum(attribute_op(cap.tracer, op)["wall_s"]
+                         for op in cap.op_ids)
+        crit_total = sum(s for ent in ledger.entries.values()
+                         for s in ent.crit_s.values())
+        phase_total = sum(s for ent in ledger.entries.values()
+                          for s in ent.phase_s.values())
+        hist_total = sum(s for ent in ledger.entries.values()
+                         for s in ent.latency._values)
+        assert crit_total == pytest.approx(total_wall, rel=1e-9)
+        assert phase_total == pytest.approx(total_wall, rel=1e-9)
+        assert hist_total == pytest.approx(total_wall, rel=1e-9)
+
+    def test_record_op_matches_phase_breakdown(self):
+        cap = capture.trace_artifact("allreduce")
+        ledger = cap.ledger()
+        assert ledger.ops == len(cap.op_ids)
+        for op in cap.op_ids:
+            breakdown = phase_breakdown(cap.tracer, op)
+            assert "incomplete" in breakdown
+        (ent,) = ledger.entries.values()
+        assert ent.collective == "allreduce"
+        assert ent.nprocs == 4
+        assert ent.size == 64 * KIB
+
+    def test_collective_and_size_from_root_span(self):
+        cap = capture.trace_artifact("fig12")
+        ledger = cap.ledger()
+        keys = list(ledger.entries)
+        assert all("/reduce/" in k for k in keys)
+        assert all(f"{32 * units.MIB}B" in k for k in keys)
+
+
+class TestLedgerFromRecords:
+    def test_sweep_records_become_observations(self):
+        runner = SweepRunner()
+        harness.run_figX_scale(runner=runner,
+                               node_counts=(4,), size=256 * KIB)
+        ledger = ledger_from_records(runner.records)
+        assert ledger.ops == len(runner.records) == 3
+        collectives = {ent.collective for ent in ledger.entries.values()}
+        assert collectives == {"allreduce", "bcast"}
+        for ent in ledger.entries.values():
+            assert ent.nprocs == 4
+            assert ent.size == 256 * KIB
+            assert all(v > 0 for v in ent.latency._values)
+        # runner.ledger() is the same construction
+        assert runner.ledger().snapshot() == ledger.snapshot()
+
+    def test_non_latency_kernels_are_skipped(self):
+        runner = SweepRunner()
+        harness.run_tab02_dlrm_config(runner=runner)
+        assert ledger_from_records(runner.records).ops == 0
+
+    def test_cached_rerun_produces_identical_ledger(self, tmp_path):
+        from repro.bench.cache import ResultCache
+
+        kwargs = dict(node_counts=(4,), size=256 * KIB)
+        cold = SweepRunner(cache=ResultCache(tmp_path / "c"))
+        harness.run_figX_scale(runner=cold, **kwargs)
+        warm = SweepRunner(cache=ResultCache(tmp_path / "c"))
+        harness.run_figX_scale(runner=warm, **kwargs)
+        assert all(rec.cached for rec in warm.records)
+        assert ledger_from_records(warm.records).snapshot() == \
+            ledger_from_records(cold.records).snapshot()
+
+
+class TestLedgerPath:
+    def test_default_results_maps_to_default_ledger(self):
+        assert ledger_path_for("BENCH_results.json") == "BENCH_ledger.json"
+        assert ledger_path_for("out/BENCH_results.json") == \
+            "out/BENCH_ledger.json"
+
+    def test_other_names_get_ledger_suffix(self):
+        assert ledger_path_for("s0.json") == "s0_ledger.json"
+        assert ledger_path_for("runs/a.json") == "runs/a_ledger.json"
+
+
+class TestTrajectoryLedgerSection:
+    def test_bench_cli_writes_ledger_and_summary(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        out = str(tmp_path / "r.json")
+        rc = main(["figX_scale", "--quick", "--no-cache", "--json", out])
+        assert rc == 0
+        capsys.readouterr()
+        doc = json.load(open(out))
+        assert doc["ledger"]["ops"] > 0
+        assert "figX_scale" in doc["ledger"]["artifacts"]
+        stats = doc["ledger"]["artifacts"]["figX_scale"]
+        assert stats["p50_us"] > 0 and stats["p99_us"] >= stats["p50_us"]
+        ledger = OpLedger.load(str(tmp_path / "r_ledger.json"))
+        assert ledger.ops == doc["ledger"]["ops"]

@@ -151,3 +151,60 @@ class TestWarmPool:
         # box serializes the workers
         assert warm_s <= 2.0 * sequential_s + 1.0, \
             f"jobs=4 warm sweep {warm_s:.2f}s vs jobs=1 {sequential_s:.2f}s"
+
+
+class TestShardedLedgerIdentity:
+    """Shard -> merge -> rerun must reproduce the unsharded op ledger and
+    telemetry totals exactly, the same way it reproduces rows."""
+
+    def test_merged_cache_rerun_reproduces_ledger_and_totals(self, tmp_path):
+        reference = SweepRunner()
+        harness.run_figX_scale(runner=reference, **TINY)
+        ref_ledger = reference.ledger()
+        ref_totals = reference.trajectory()["totals"]
+
+        merged = ResultCache(tmp_path / "merged")
+        for index in (0, 1, 2):
+            runner = SweepRunner(
+                cache=ResultCache(tmp_path / f"c{index}"), shard=(index, 3))
+            try:
+                harness.run_figX_scale(runner=runner, **TINY)
+            except ShardIncomplete:
+                pass
+            _import_shard(runner, merged)
+        final = SweepRunner(cache=merged)
+        harness.run_figX_scale(runner=final, **TINY)
+        assert all(rec.cached for rec in final.records)
+
+        ledger = final.ledger()
+        assert ledger.snapshot() == ref_ledger.snapshot()
+        for key, ent in ledger.entries.items():
+            ref = ref_ledger.entries[key]
+            assert sorted(ent.latency._values) == sorted(ref.latency._values)
+            assert ent.crit_s == pytest.approx(ref.crit_s)
+
+        # Telemetry carried through the cache matches the reference run;
+        # wall_s is host time of the *producing* run and is excluded.
+        totals = final.trajectory()["totals"]
+        for field in ("points", "events", "events_ff",
+                      "snapshots", "snap_dropped"):
+            assert totals[field] == ref_totals[field], field
+        assert totals["sim_s"] == pytest.approx(ref_totals["sim_s"],
+                                                rel=1e-12)
+
+    def test_per_shard_ledgers_merge_to_reference(self):
+        """Registry idiom on the ledger itself: merging each shard's
+        partial snapshot equals the unsharded ledger."""
+        from repro.obs.ledger import OpLedger
+
+        reference = SweepRunner()
+        harness.run_figX_scale(runner=reference, **TINY)
+        merged = OpLedger()
+        for index in (0, 1):
+            runner = SweepRunner(shard=(index, 2))
+            try:
+                harness.run_figX_scale(runner=runner, **TINY)
+            except ShardIncomplete:
+                pass
+            merged.merge(runner.ledger().snapshot())
+        assert merged.snapshot() == reference.ledger().snapshot()
